@@ -1,0 +1,21 @@
+; Additive checksum over a message, printed as one byte.
+;
+;   sofi campaign asm/checksum.s
+;   sofi sample asm/checksum.s --draws 20000
+.data
+msg: .byte 'f', 'a', 'u', 'l', 't', 's'
+sum: .word 0
+.text
+    li r4, 0
+    li r5, 6
+loop:
+    addi r2, r4, msg
+    lbu r3, 0(r2)
+    lw r6, sum(r0)
+    add r6, r6, r3
+    sw r6, sum(r0)
+    addi r4, r4, 1
+    bne r4, r5, loop
+    lw r6, sum(r0)
+    serial r6
+    halt 0

@@ -1,0 +1,19 @@
+; A counter in RAM ticking down: flips of high counter bits cause
+; timeouts, low bits change the number of '*' printed (SDC).
+;
+;   sofi campaign asm/countdown.s
+.data
+count: .word 5
+.text
+loop:
+    lw r1, count(r0)
+    beq r1, r0, done
+    li r2, '*'
+    serial r2
+    addi r1, r1, -1
+    sw r1, count(r0)
+    j loop
+done:
+    li r2, '!'
+    serial r2
+    halt 0

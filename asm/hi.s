@@ -1,0 +1,17 @@
+; The paper's "Hi" micro-benchmark (Figure 3a): 8 instructions,
+; 2 bytes of RAM, fault coverage 62.5%, F = 48.
+;
+;   sofi run asm/hi.s
+;   sofi campaign asm/hi.s
+;   sofi diagram asm/hi.s
+.data
+msg: .space 2
+.text
+li r1, 'H'
+sb r1, msg(r0)
+li r1, 'i'
+sb r1, msg+1(r0)
+lb r2, msg(r0)
+serial r2
+lb r2, msg+1(r0)
+serial r2

@@ -1,0 +1,19 @@
+; "Hi" with the paper's "Dilution Fault Tolerance" applied: four NOPs
+; prepended. Coverage rises to 75% -- the failure count stays 48.
+;
+;   sofi compare asm/hi.s asm/hi_dft.s
+nop
+nop
+nop
+nop
+.data
+msg: .space 2
+.text
+li r1, 'H'
+sb r1, msg(r0)
+li r1, 'i'
+sb r1, msg+1(r0)
+lb r2, msg(r0)
+serial r2
+lb r2, msg+1(r0)
+serial r2

@@ -1,0 +1,74 @@
+//! Campaign execution throughput: full def/use scans, sequential vs
+//! parallel, plus the brute-force scan used for pruning validation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sofi::campaign::{Campaign, CampaignConfig, FaultDomain};
+use sofi::workloads::{fib, hi, Variant};
+
+fn bench_full_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign/full_defuse");
+    group.sample_size(10);
+    for program in [hi(), fib(Variant::Baseline)] {
+        let campaign = Campaign::new(&program).unwrap();
+        let experiments = campaign.plan().experiments.len() as u64;
+        group.throughput(Throughput::Elements(experiments));
+        group.bench_function(program.name.clone(), |b| {
+            b.iter(|| campaign.run_full_defuse());
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign/threads");
+    group.sample_size(10);
+    let program = fib(Variant::Baseline);
+    for threads in [1usize, 4] {
+        let config = CampaignConfig {
+            threads,
+            ..CampaignConfig::default()
+        };
+        let campaign = Campaign::with_config(&program, config).unwrap();
+        group.bench_function(format!("fib_t{threads}"), |b| {
+            b.iter(|| campaign.run_full_defuse());
+        });
+    }
+    group.finish();
+}
+
+fn bench_brute_force(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign/brute_force");
+    group.sample_size(10);
+    let campaign = Campaign::new(&hi()).unwrap();
+    group.throughput(Throughput::Elements(128));
+    group.bench_function("hi_128_coords", |b| b.iter(|| campaign.run_brute_force()));
+    group.finish();
+}
+
+fn bench_fork_ablation(c: &mut Criterion) {
+    // Ablation: the pristine-fork optimization vs naive replay-from-zero.
+    let mut group = c.benchmark_group("campaign/fork_ablation");
+    group.sample_size(10);
+    let campaign = Campaign::with_config(
+        &fib(Variant::Baseline),
+        CampaignConfig::sequential(),
+    )
+    .unwrap();
+    let experiments = &campaign.plan().experiments;
+    group.bench_function("forking", |b| {
+        b.iter(|| campaign.run_experiments(experiments));
+    });
+    group.bench_function("naive_replay", |b| {
+        b.iter(|| campaign.run_experiments_naive(FaultDomain::Memory, experiments));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_scan,
+    bench_parallelism,
+    bench_brute_force,
+    bench_fork_ablation
+);
+criterion_main!(benches);

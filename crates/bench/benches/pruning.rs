@@ -1,0 +1,44 @@
+//! Def/use analysis throughput: golden-run capture, timeline digestion
+//! and equivalence-class extraction (§III-C machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sofi::space::DefUseAnalysis;
+use sofi::trace::GoldenRun;
+use sofi::workloads::{bin_sem2, sync2, Variant};
+
+fn bench_golden_capture(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pruning/golden_capture");
+    for program in [bin_sem2(Variant::Baseline), sync2(Variant::SumDmr)] {
+        group.bench_function(program.name.clone(), |b| {
+            b.iter(|| GoldenRun::capture(&program, 10_000_000).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_defuse_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pruning/defuse_analysis");
+    for program in [bin_sem2(Variant::Baseline), sync2(Variant::SumDmr)] {
+        let golden = GoldenRun::capture(&program, 10_000_000).unwrap();
+        group.bench_function(program.name.clone(), |b| {
+            b.iter(|| DefUseAnalysis::from_golden(&golden));
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pruning/plan_build");
+    let golden = GoldenRun::capture(&sync2(Variant::SumDmr), 10_000_000).unwrap();
+    let analysis = DefUseAnalysis::from_golden(&golden);
+    group.bench_function("sync2+sumdmr", |b| b.iter(|| analysis.plan()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_golden_capture,
+    bench_defuse_analysis,
+    bench_plan_build
+);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! Figure 2: FI result interpretation with and without avoidance of
+//! Pitfalls 1 and 3, on the `bin_sem2` and `sync2` benchmark pairs.
+//!
+//! Regenerates all seven panels:
+//! (a) unweighted fault coverage, (b) weighted fault coverage,
+//! (c) sampled coverage with 95 % confidence intervals,
+//! (d) unweighted failure counts, (e) weighted failure counts,
+//! (f) extrapolated failure counts from sampling,
+//! (g) runtime and memory usage.
+
+use serde::Serialize;
+use sofi::metrics::{extrapolated_failures, fault_coverage, sampled_coverage, Weighting};
+use sofi::report::{bar_chart, Table};
+use sofi_bench::{evaluate, pct, save_artifact, EvaluatedVariant};
+
+const SAMPLE_DRAWS: u64 = 20_000;
+
+#[derive(Serialize)]
+struct PanelRow {
+    variant: String,
+    unweighted_coverage: f64,
+    weighted_coverage: f64,
+    sampled_coverage: f64,
+    sampled_coverage_ci: (f64, f64),
+    unweighted_failures: u64,
+    weighted_failures: u64,
+    extrapolated_failures: f64,
+    extrapolated_ci: (f64, f64),
+    runtime_cycles: u64,
+    ram_bytes: u64,
+}
+
+fn row(v: &EvaluatedVariant) -> PanelRow {
+    let est = sampled_coverage(&v.sampled, 0.95);
+    let f_est = extrapolated_failures(&v.sampled, 0.95);
+    PanelRow {
+        variant: v.name.clone(),
+        unweighted_coverage: fault_coverage(&v.full, Weighting::Unweighted),
+        weighted_coverage: fault_coverage(&v.full, Weighting::Weighted),
+        sampled_coverage: est.coverage,
+        sampled_coverage_ci: est.ci,
+        unweighted_failures: v.full.failure_raw(),
+        weighted_failures: v.full.failure_weight(),
+        extrapolated_failures: f_est.failures,
+        extrapolated_ci: f_est.ci,
+        runtime_cycles: v.stats.cycles,
+        ram_bytes: v.stats.ram_bits / 8,
+    }
+}
+
+fn main() {
+    let pairs = sofi::workloads::benchmark_pairs();
+    let mut rows = Vec::new();
+    for (name, base, hard) in &pairs {
+        if !matches!(*name, "bin_sem2" | "sync2") {
+            continue; // Figure 2 uses the two eCos benchmarks
+        }
+        eprintln!("running campaigns for {name} ...");
+        rows.push(row(&evaluate(base, SAMPLE_DRAWS, 0xF162)));
+        rows.push(row(&evaluate(hard, SAMPLE_DRAWS, 0xF162)));
+    }
+
+    println!("== Figure 2(a): fault coverage, UNWEIGHTED (Pitfall 1 committed) ==");
+    println!(
+        "{}",
+        bar_chart(
+            &rows
+                .iter()
+                .map(|r| (r.variant.clone(), r.unweighted_coverage * 100.0))
+                .collect::<Vec<_>>(),
+            50
+        )
+    );
+
+    println!("== Figure 2(b): fault coverage, WEIGHTED (Pitfall 1 avoided) ==");
+    println!(
+        "{}",
+        bar_chart(
+            &rows
+                .iter()
+                .map(|r| (r.variant.clone(), r.weighted_coverage * 100.0))
+                .collect::<Vec<_>>(),
+            50
+        )
+    );
+
+    println!("== Figure 2(c): sampled coverage estimate, 95% CI ({SAMPLE_DRAWS} draws) ==");
+    let mut t = Table::new(vec!["variant", "coverage", "95% CI"]);
+    for r in &rows {
+        t.row(vec![
+            r.variant.clone(),
+            pct(r.sampled_coverage),
+            format!(
+                "[{}, {}]",
+                pct(r.sampled_coverage_ci.0),
+                pct(r.sampled_coverage_ci.1)
+            ),
+        ]);
+    }
+    println!("{t}");
+
+    println!("== Figure 2(d): failure counts, UNWEIGHTED (wrong) ==");
+    println!(
+        "{}",
+        bar_chart(
+            &rows
+                .iter()
+                .map(|r| (r.variant.clone(), r.unweighted_failures as f64))
+                .collect::<Vec<_>>(),
+            50
+        )
+    );
+
+    println!("== Figure 2(e): failure counts, WEIGHTED (the paper's sound metric) ==");
+    println!(
+        "{}",
+        bar_chart(
+            &rows
+                .iter()
+                .map(|r| (r.variant.clone(), r.weighted_failures as f64))
+                .collect::<Vec<_>>(),
+            50
+        )
+    );
+
+    println!("== Figure 2(f): extrapolated failure counts from sampling ==");
+    let mut t = Table::new(vec!["variant", "F_extrapolated", "95% CI"]);
+    for r in &rows {
+        t.row(vec![
+            r.variant.clone(),
+            format!("{:.0}", r.extrapolated_failures),
+            format!("[{:.0}, {:.0}]", r.extrapolated_ci.0, r.extrapolated_ci.1),
+        ]);
+    }
+    println!("{t}");
+
+    println!("== Figure 2(g): runtime and memory usage ==");
+    let mut t = Table::new(vec!["variant", "runtime [cycles]", "memory [bytes]"]);
+    for r in &rows {
+        t.row(vec![
+            r.variant.clone(),
+            r.runtime_cycles.to_string(),
+            r.ram_bytes.to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    // The §V-B verdicts.
+    println!("== Comparison ratios r = F_hardened / F_baseline (r < 1 improves) ==");
+    let mut t = Table::new(vec!["benchmark", "r (weighted full scan)", "verdict"]);
+    for pair in rows.chunks(2) {
+        let (b, h) = (&pair[0], &pair[1]);
+        let r = h.weighted_failures as f64 / b.weighted_failures as f64;
+        t.row(vec![
+            b.variant.clone(),
+            format!("{r:.3}"),
+            if r < 1.0 { "improves" } else { "WORSENS" }.into(),
+        ]);
+    }
+    println!("{t}");
+
+    save_artifact("fig2.json", &rows);
+}

@@ -1,0 +1,82 @@
+//! Campaign configuration.
+
+use sofi_machine::MachineConfig;
+
+/// Execution parameters of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Worker threads. `0` selects the available parallelism.
+    pub threads: usize,
+    /// Experiment cycle budget as a multiple of the golden runtime. A
+    /// faulted run exceeding `golden_cycles * timeout_factor +
+    /// timeout_slack` is classified as a timeout.
+    pub timeout_factor: u64,
+    /// Constant slack added to the cycle budget (covers very short
+    /// benchmarks where a small absolute overrun is plausible).
+    pub timeout_slack: u64,
+    /// Machine limits used for experiment runs.
+    pub machine: MachineConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            threads: 0,
+            timeout_factor: 3,
+            timeout_slack: 1_000,
+            machine: MachineConfig::default(),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Single-threaded configuration (deterministic result ordering is
+    /// guaranteed either way; this avoids thread startup for tiny plans).
+    pub fn sequential() -> Self {
+        CampaignConfig {
+            threads: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The experiment cycle budget for a benchmark of `golden_cycles`.
+    pub fn cycle_budget(&self, golden_cycles: u64) -> u64 {
+        golden_cycles
+            .saturating_mul(self.timeout_factor)
+            .saturating_add(self.timeout_slack)
+    }
+
+    /// Resolves the worker-thread count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_math() {
+        let c = CampaignConfig::default();
+        assert_eq!(c.cycle_budget(100), 1_300);
+        let c = CampaignConfig {
+            timeout_factor: 2,
+            timeout_slack: 0,
+            ..c
+        };
+        assert_eq!(c.cycle_budget(u64::MAX), u64::MAX); // saturates
+    }
+
+    #[test]
+    fn thread_resolution() {
+        assert!(CampaignConfig::default().effective_threads() >= 1);
+        assert_eq!(CampaignConfig::sequential().effective_threads(), 1);
+    }
+}

@@ -1,0 +1,426 @@
+//! The campaign executor.
+
+use crate::config::CampaignConfig;
+use crate::outcome::Outcome;
+use crate::result::{CampaignResult, ExperimentResult, FaultDomain};
+use sofi_isa::Program;
+use sofi_machine::{ExternalEvent, Machine};
+use sofi_space::{DefUseAnalysis, Experiment, InjectionPlan};
+use sofi_trace::{GoldenError, GoldenRun};
+
+/// Default cycle limit for capturing golden runs.
+const GOLDEN_CYCLE_LIMIT: u64 = 50_000_000;
+
+/// A prepared fault-injection campaign: program, golden run, def/use
+/// analysis and pruned plan, ready to execute scans or samples.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    program: Program,
+    events: Vec<ExternalEvent>,
+    golden: GoldenRun,
+    analysis: DefUseAnalysis,
+    plan: InjectionPlan,
+    reg_analysis: DefUseAnalysis,
+    reg_plan: InjectionPlan,
+    config: CampaignConfig,
+}
+
+impl Campaign {
+    /// Prepares a campaign: captures the golden run and computes the
+    /// def/use plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoldenError`] if the fault-free program does not terminate
+    /// cleanly within 50 M cycles.
+    pub fn new(program: &Program) -> Result<Campaign, GoldenError> {
+        Campaign::with_config(program, CampaignConfig::default())
+    }
+
+    /// [`Campaign::new`] with explicit execution parameters.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Campaign::new`].
+    pub fn with_config(program: &Program, config: CampaignConfig) -> Result<Campaign, GoldenError> {
+        Campaign::with_events(program, config, Vec::new())
+    }
+
+    /// [`Campaign::with_config`] plus a deterministic external-event
+    /// schedule, replayed identically in the golden run and in every
+    /// experiment (§II-C).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Campaign::new`].
+    pub fn with_events(
+        program: &Program,
+        config: CampaignConfig,
+        events: Vec<ExternalEvent>,
+    ) -> Result<Campaign, GoldenError> {
+        let golden = GoldenRun::capture_with_events(
+            program,
+            GOLDEN_CYCLE_LIMIT,
+            config.machine,
+            events.clone(),
+        )?;
+        let analysis = DefUseAnalysis::from_golden(&golden);
+        let plan = analysis.plan();
+        let reg_analysis = DefUseAnalysis::from_timelines(&golden.reg_timelines(), golden.cycles);
+        let reg_plan = reg_analysis.plan();
+        Ok(Campaign {
+            program: program.clone(),
+            events,
+            golden,
+            analysis,
+            plan,
+            reg_analysis,
+            reg_plan,
+            config,
+        })
+    }
+
+    /// The golden (reference) run.
+    pub fn golden(&self) -> &GoldenRun {
+        &self.golden
+    }
+
+    /// The def/use analysis of the golden run.
+    pub fn analysis(&self) -> &DefUseAnalysis {
+        &self.analysis
+    }
+
+    /// The pruned injection plan (memory domain).
+    pub fn plan(&self) -> &InjectionPlan {
+        &self.plan
+    }
+
+    /// The def/use analysis of the register-file fault space (§VI-B:
+    /// `Δt cycles × 480 register bits`, with accesses recorded exactly as
+    /// the datapath performs them).
+    pub fn register_analysis(&self) -> &DefUseAnalysis {
+        &self.reg_analysis
+    }
+
+    /// The pruned injection plan for the register-file domain.
+    pub fn register_plan(&self) -> &InjectionPlan {
+        &self.reg_plan
+    }
+
+    /// The program under test.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// The deterministic external-event schedule (empty by default).
+    pub fn events(&self) -> &[ExternalEvent] {
+        &self.events
+    }
+
+    /// Executes the def/use-pruned full fault-space scan: one experiment
+    /// per equivalence class, covering the entire space exactly.
+    pub fn run_full_defuse(&self) -> CampaignResult {
+        self.run_plan(&self.plan)
+    }
+
+    /// Executes the full def/use scan of the *register-file* fault space
+    /// (§VI-B). Coordinates are `(cycle, (reg − 1)·32 + bit)` over
+    /// `r1..r15`.
+    pub fn run_full_defuse_registers(&self) -> CampaignResult {
+        self.run_plan_in(FaultDomain::RegisterFile, &self.reg_plan)
+    }
+
+    /// Brute-force scan of the register file (tiny programs only; used to
+    /// validate register-domain pruning).
+    pub fn run_brute_force_registers(&self) -> CampaignResult {
+        let plan = InjectionPlan::full_scan(self.reg_analysis.space);
+        self.run_plan_in(FaultDomain::RegisterFile, &plan)
+    }
+
+    /// Executes a brute-force scan: one experiment for *every* raw
+    /// coordinate, no pruning. Exponentially more experiments than
+    /// [`Campaign::run_full_defuse`] — only for tiny programs and for
+    /// validating that pruning is outcome-preserving.
+    pub fn run_brute_force(&self) -> CampaignResult {
+        let plan = InjectionPlan::full_scan(self.analysis.space);
+        self.run_plan(&plan)
+    }
+
+    /// Executes an arbitrary plan against this campaign's program
+    /// (memory-domain injections).
+    pub fn run_plan(&self, plan: &InjectionPlan) -> CampaignResult {
+        self.run_plan_in(FaultDomain::Memory, plan)
+    }
+
+    /// Executes an arbitrary plan with injections into the given domain.
+    pub fn run_plan_in(&self, domain: FaultDomain, plan: &InjectionPlan) -> CampaignResult {
+        let mut results = self.run_experiments_in(domain, &plan.experiments);
+        results.sort_by_key(|r| r.experiment.id);
+        CampaignResult {
+            benchmark: self.program.name.clone(),
+            domain,
+            space: plan.space,
+            known_benign_weight: plan.known_benign_weight,
+            golden_cycles: self.golden.cycles,
+            results,
+        }
+    }
+
+    /// Executes a list of memory-domain experiments (any order) and
+    /// returns their outcomes (unordered; callers sort as needed).
+    pub fn run_experiments(&self, experiments: &[Experiment]) -> Vec<ExperimentResult> {
+        self.run_experiments_in(FaultDomain::Memory, experiments)
+    }
+
+    /// Executes a list of experiments with injections into the given
+    /// domain.
+    pub fn run_experiments_in(
+        &self,
+        domain: FaultDomain,
+        experiments: &[Experiment],
+    ) -> Vec<ExperimentResult> {
+        let threads = self
+            .config
+            .effective_threads()
+            .min(experiments.len().max(1));
+        if threads <= 1 {
+            return self.run_worker(domain, experiments.iter().copied());
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let worker = experiments.iter().copied().skip(t).step_by(threads);
+                    scope.spawn(move || self.run_worker(domain, worker))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Naive reference executor: replays every experiment from cycle 0
+    /// instead of forking a forward-running pristine machine. Costs
+    /// `O(Σ cycle_i)` extra work — kept as the ablation baseline for the
+    /// fork optimization (`benches/campaign.rs`) and as an oracle in
+    /// tests; results are identical by construction.
+    pub fn run_experiments_naive(
+        &self,
+        domain: FaultDomain,
+        experiments: &[Experiment],
+    ) -> Vec<ExperimentResult> {
+        let budget = self.config.cycle_budget(self.golden.cycles);
+        experiments
+            .iter()
+            .map(|&e| {
+                let mut m =
+                    Machine::with_events(&self.program, self.config.machine, self.events.clone());
+                let early = m.run_to(e.coord.cycle - 1);
+                assert!(early.is_none(), "plan outlived the program");
+                match domain {
+                    FaultDomain::Memory => m.flip_bit(e.coord.bit),
+                    FaultDomain::RegisterFile => m.flip_reg_bit(e.coord.bit),
+                }
+                let status = m.run(budget);
+                let outcome =
+                    Outcome::classify(status, m.serial(), m.detect_count(), &self.golden);
+                ExperimentResult {
+                    experiment: e,
+                    outcome,
+                }
+            })
+            .collect()
+    }
+
+    /// Sequential worker: advances a pristine machine monotonically along
+    /// the (cycle-sorted) experiment stream and forks it per experiment.
+    fn run_worker(
+        &self,
+        domain: FaultDomain,
+        experiments: impl Iterator<Item = Experiment>,
+    ) -> Vec<ExperimentResult> {
+        let budget = self.config.cycle_budget(self.golden.cycles);
+        let mut pristine =
+            Machine::with_events(&self.program, self.config.machine, self.events.clone());
+        let mut out = Vec::new();
+        for e in experiments {
+            let pre_cycle = e.coord.cycle - 1;
+            if pristine.cycle() > pre_cycle {
+                // Out-of-order experiment: restart the pristine machine.
+                pristine =
+                    Machine::with_events(&self.program, self.config.machine, self.events.clone());
+            }
+            let early = pristine.run_to(pre_cycle);
+            assert!(
+                early.is_none(),
+                "golden-derived plan outlived the program (cycle {})",
+                e.coord.cycle
+            );
+            let mut m = pristine.clone();
+            match domain {
+                FaultDomain::Memory => m.flip_bit(e.coord.bit),
+                FaultDomain::RegisterFile => m.flip_reg_bit(e.coord.bit),
+            }
+            let status = m.run(budget);
+            let outcome = Outcome::classify(status, m.serial(), m.detect_count(), &self.golden);
+            out.push(ExperimentResult {
+                experiment: e,
+                outcome,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::OutcomeClass;
+    use sofi_isa::{Asm, Reg};
+    use std::collections::HashMap;
+
+    /// The paper's "Hi" benchmark (Figure 3a): 8 cycles × 16 bits,
+    /// F = 48, coverage 62.5 %.
+    fn hi_program() -> Program {
+        let mut a = Asm::with_name("hi");
+        let msg = a.data_space("msg", 2);
+        a.li(Reg::R1, 'H' as i32);
+        a.sb(Reg::R1, Reg::R0, msg.offset());
+        a.li(Reg::R1, 'i' as i32);
+        a.sb(Reg::R1, Reg::R0, msg.at(1).offset());
+        a.lb(Reg::R2, Reg::R0, msg.offset());
+        a.serial_out(Reg::R2);
+        a.lb(Reg::R2, Reg::R0, msg.at(1).offset());
+        a.serial_out(Reg::R2);
+        a.build().unwrap()
+    }
+
+    #[test]
+    fn hi_full_defuse_matches_paper() {
+        let c = Campaign::new(&hi_program()).unwrap();
+        assert_eq!(c.golden().serial, b"Hi");
+        assert_eq!(c.golden().fault_space_size(), 128);
+        let r = c.run_full_defuse();
+        assert!(r.covers_space());
+        // All 16 experiment classes are failures (weight 3 each): F = 48.
+        assert_eq!(r.results.len(), 16);
+        assert_eq!(r.failure_weight(), 48);
+        assert_eq!(r.benign_weight(), 80);
+    }
+
+    #[test]
+    fn brute_force_agrees_with_defuse_expansion() {
+        // The defining property of def/use pruning: expanding each class
+        // result over its coordinates reproduces the brute-force scan.
+        let c = Campaign::with_config(&hi_program(), CampaignConfig::sequential()).unwrap();
+        let brute = c.run_brute_force();
+        let pruned = c.run_full_defuse();
+        assert_eq!(brute.results.len(), 128);
+        assert_eq!(brute.failure_weight(), pruned.failure_weight());
+        assert_eq!(brute.benign_weight(), pruned.benign_weight());
+
+        // Per-coordinate agreement via the class index.
+        let index = sofi_space::ClassIndex::new(c.analysis(), c.plan());
+        let by_id: HashMap<u32, Outcome> = pruned
+            .results
+            .iter()
+            .map(|r| (r.experiment.id, r.outcome))
+            .collect();
+        for br in &brute.results {
+            let expected_class = match index.lookup(br.experiment.coord) {
+                sofi_space::ClassRef::Experiment(id) => by_id[&id].class(),
+                sofi_space::ClassRef::KnownBenign => OutcomeClass::NoEffect,
+            };
+            assert_eq!(
+                br.outcome.class(),
+                expected_class,
+                "coordinate {} disagrees",
+                br.experiment.coord
+            );
+        }
+    }
+
+    #[test]
+    fn naive_replay_agrees_with_forking_executor() {
+        let c = Campaign::with_config(&hi_program(), CampaignConfig::sequential()).unwrap();
+        let fast = c.run_experiments(&c.plan().experiments);
+        let naive =
+            c.run_experiments_naive(crate::FaultDomain::Memory, &c.plan().experiments);
+        assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let p = hi_program();
+        let seq = Campaign::with_config(&p, CampaignConfig::sequential())
+            .unwrap()
+            .run_full_defuse();
+        let par = Campaign::with_config(
+            &p,
+            CampaignConfig {
+                threads: 4,
+                ..CampaignConfig::default()
+            },
+        )
+        .unwrap()
+        .run_full_defuse();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn timeout_classified() {
+        // A program whose loop counter lives in RAM: flipping a high bit
+        // of the counter makes the loop run ~2^31 iterations → timeout.
+        let mut a = Asm::with_name("loopy");
+        let n = a.data_word("n", 3);
+        let top_entry = a.new_label();
+        a.j(top_entry);
+        a.bind(top_entry);
+        let top = a.label_here();
+        a.lw(Reg::R1, Reg::R0, n.offset());
+        a.addi(Reg::R1, Reg::R1, -1);
+        a.sw(Reg::R1, Reg::R0, n.offset());
+        a.bne(Reg::R1, Reg::R0, top);
+        let p = a.build().unwrap();
+        let c = Campaign::new(&p).unwrap();
+        let r = c.run_full_defuse();
+        let outcomes: Vec<Outcome> = r.results.iter().map(|x| x.outcome).collect();
+        assert!(
+            outcomes.contains(&Outcome::Timeout),
+            "expected at least one timeout, got {outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn detect_signal_classified_benign() {
+        // A program that re-derives a corrupted value and signals the
+        // correction: flips under the protected read become
+        // DetectedCorrected.
+        let mut a = Asm::with_name("protected");
+        let x = a.data_bytes("x", &[5]);
+        let ok = a.new_label();
+        a.lb(Reg::R1, Reg::R0, x.offset()); // may be corrupted
+        a.li(Reg::R2, 5); // recompute reference
+        a.beq(Reg::R1, Reg::R2, ok);
+        a.detect_signal(Reg::R2); // detected, corrected below
+        a.mv(Reg::R1, Reg::R2);
+        a.bind(ok);
+        a.serial_out(Reg::R1);
+        let p = a.build().unwrap();
+        let c = Campaign::new(&p).unwrap();
+        let r = c.run_full_defuse();
+        assert!(r
+            .results
+            .iter()
+            .all(|res| res.outcome == Outcome::DetectedCorrected || res.outcome == Outcome::NoEffect));
+        assert_eq!(r.failure_weight(), 0);
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! Fault-injection campaign execution.
+//!
+//! A *campaign* executes an [`sofi_space::InjectionPlan`] against a program:
+//! for every planned experiment the machine is forked at the injection
+//! cycle, the bit is flipped, execution resumes, and the run's observable
+//! behaviour is classified against the golden run (§II-D of the paper).
+//!
+//! The executor exploits two properties of the setup:
+//!
+//! * plans are sorted by injection cycle, so a single *pristine* machine is
+//!   advanced monotonically and cheaply cloned at each injection point
+//!   (no per-experiment replay from cycle 0);
+//! * experiments are independent, so they are distributed round-robin over
+//!   worker threads.
+//!
+//! # Examples
+//!
+//! ```
+//! use sofi_isa::{Asm, Reg};
+//! use sofi_trace::GoldenRun;
+//! use sofi_space::DefUseAnalysis;
+//! use sofi_campaign::{Campaign, Outcome};
+//!
+//! let mut a = Asm::new();
+//! let x = a.data_bytes("x", &[7]);
+//! a.lb(Reg::R1, Reg::R0, x.offset());
+//! a.serial_out(Reg::R1);
+//! let program = a.build()?;
+//!
+//! let campaign = Campaign::new(&program)?;
+//! let result = campaign.run_full_defuse();
+//! // Flipping any of the 8 bits of `x` before the read corrupts output.
+//! assert_eq!(result.results.len(), 8);
+//! assert!(result
+//!     .results
+//!     .iter()
+//!     .all(|r| r.outcome == Outcome::SilentDataCorruption));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod burst;
+mod config;
+mod executor;
+mod outcome;
+mod result;
+mod sampling;
+
+pub use burst::BurstSampledResult;
+pub use config::CampaignConfig;
+pub use executor::Campaign;
+pub use outcome::{Outcome, OutcomeClass, ABORT_CODE};
+pub use result::{CampaignResult, ExperimentResult, FaultDomain};
+pub use sampling::{SampledResult, SamplingMode};

@@ -1,0 +1,12 @@
+//! The `sofi` command-line tool. See [`sofi::cli`] for the commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match sofi::cli::dispatch(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

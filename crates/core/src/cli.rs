@@ -1,0 +1,401 @@
+//! Implementation of the `sofi` command-line tool.
+//!
+//! The CLI assembles `.s` sources (see [`sofi_isa::assemble_text`] for the
+//! syntax) and runs them through the pipeline:
+//!
+//! ```text
+//! sofi run <prog.s> [--limit N]            execute, show output and cycles
+//! sofi campaign <prog.s> [--registers] [--json]
+//!                                          full def/use fault-space scan
+//! sofi sample <prog.s> --draws N [--seed S] [--mode raw|weighted|biased]
+//!                                          sampling campaign + extrapolation
+//! sofi diagram <prog.s>                    ASCII fault-space diagram
+//! sofi compare <baseline.s> <hardened.s>   soundly compare two variants
+//! ```
+//!
+//! All functions return the text they would print, so they are directly
+//! testable; the binary's `main` is a thin shell around [`dispatch`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sofi_campaign::{Campaign, CampaignResult, SamplingMode};
+use sofi_isa::{assemble_text, Program};
+use sofi_metrics::{
+    compare_failures, exact_failures, extrapolated_failures, fault_coverage, outcome_breakdown,
+    Weighting,
+};
+use sofi_report::{fault_space_diagram, Table};
+use std::fmt::Write as _;
+
+/// CLI failure: bad usage or a failing pipeline step, with a user-facing
+/// message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(s: String) -> CliError {
+        CliError(s)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+sofi — fault-injection methodology toolkit (DSN'15 pitfalls paper)
+
+USAGE:
+  sofi run <prog.s> [--limit N]
+  sofi campaign <prog.s> [--registers] [--json]
+  sofi sample <prog.s> --draws N [--seed S] [--mode raw|weighted|biased]
+  sofi diagram <prog.s>
+  sofi compare <baseline.s> <hardened.s>
+";
+
+/// Entry point: dispatches an argument vector (without the binary name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message on bad usage,
+/// unreadable files, assembly errors or failing golden runs.
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
+        Some("sample") => cmd_sample(&args[1..]),
+        Some("diagram") => cmd_diagram(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("help") | None => Ok(USAGE.to_owned()),
+        Some(other) => Err(CliError(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn load_program(path: &str) -> Result<Program, CliError> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("program");
+    assemble_text(name, &source).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_u64(args: &[String], flag: &str, default: u64) -> Result<u64, CliError> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError(format!("{flag} expects a number, got `{v}`"))),
+    }
+}
+
+fn positional(args: &[String], n: usize) -> Result<&str, CliError> {
+    args.iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            // Skip values that directly follow a flag.
+            let idx = args.iter().position(|x| x == *a).unwrap_or(0);
+            idx == 0 || !args[idx - 1].starts_with("--")
+        })
+        .nth(n)
+        .map(String::as_str)
+        .ok_or_else(|| CliError(format!("missing argument #{n}\n\n{USAGE}")))
+}
+
+fn cmd_run(args: &[String]) -> Result<String, CliError> {
+    let program = load_program(positional(args, 0)?)?;
+    let limit = parse_u64(args, "--limit", 50_000_000)?;
+    let mut m = sofi_machine::Machine::new(&program);
+    let status = m.run(limit);
+    let mut out = String::new();
+    let _ = writeln!(out, "program : {}", program.name);
+    let _ = writeln!(out, "status  : {status:?}");
+    let _ = writeln!(out, "cycles  : {}", m.cycle());
+    let _ = writeln!(out, "output  : {:?}", m.serial());
+    if let Ok(text) = std::str::from_utf8(m.serial()) {
+        if text.chars().all(|c| !c.is_control() || c == '\n') {
+            let _ = writeln!(out, "as text : {text:?}");
+        }
+    }
+    Ok(out)
+}
+
+fn campaign_report(result: &CampaignResult, campaign: &Campaign) -> String {
+    let mut out = String::new();
+    let plan_len = result.results.len();
+    let _ = writeln!(
+        out,
+        "fault space     : {} cycles x {} bits = {} coordinates ({:?})",
+        result.space.cycles,
+        result.space.bits,
+        result.space.size(),
+        result.domain,
+    );
+    let _ = writeln!(
+        out,
+        "def/use pruning : {} experiments (x{:.0} reduction)",
+        plan_len,
+        result.space.size() as f64 / plan_len.max(1) as f64
+    );
+    let _ = writeln!(out, "golden runtime  : {} cycles", campaign.golden().cycles);
+    let _ = writeln!(
+        out,
+        "failures        : F = {} (weighted; raw experiment count {})",
+        result.failure_weight(),
+        result.failure_raw()
+    );
+    let _ = writeln!(
+        out,
+        "fault coverage  : {:.2}% weighted / {:.2}% unweighted (do NOT compare across programs)",
+        fault_coverage(result, Weighting::Weighted) * 100.0,
+        fault_coverage(result, Weighting::Unweighted) * 100.0,
+    );
+    let breakdown = outcome_breakdown(result);
+    let mut t = Table::new(vec!["failure mode", "weighted count"]);
+    for (label, count) in breakdown.failure_rows() {
+        if count > 0.0 {
+            t.row(vec![label.to_string(), format!("{count:.0}")]);
+        }
+    }
+    if !t.is_empty() {
+        let _ = writeln!(out, "{t}");
+    }
+    out
+}
+
+fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
+    let program = load_program(positional(args, 0)?)?;
+    let campaign = Campaign::new(&program)
+        .map_err(|e| CliError(format!("golden run failed: {e}")))?;
+    let result = if args.iter().any(|a| a == "--registers") {
+        campaign.run_full_defuse_registers()
+    } else {
+        campaign.run_full_defuse()
+    };
+    if args.iter().any(|a| a == "--json") {
+        return sofi_report::to_json(&result)
+            .map_err(|e| CliError(format!("serialization failed: {e}")));
+    }
+    Ok(campaign_report(&result, &campaign))
+}
+
+fn cmd_sample(args: &[String]) -> Result<String, CliError> {
+    let program = load_program(positional(args, 0)?)?;
+    let draws = parse_u64(args, "--draws", 10_000)?;
+    let seed = parse_u64(args, "--seed", 1)?;
+    let mode = match flag_value(args, "--mode").unwrap_or("raw") {
+        "raw" => SamplingMode::UniformRaw,
+        "weighted" => SamplingMode::WeightedClasses,
+        "biased" => SamplingMode::BiasedPerClass,
+        other => return Err(CliError(format!("unknown sampling mode `{other}`"))),
+    };
+    let campaign = Campaign::new(&program)
+        .map_err(|e| CliError(format!("golden run failed: {e}")))?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampled = campaign.run_sampled(draws, mode, &mut rng);
+    let est = extrapolated_failures(&sampled, 0.95);
+    let mut out = String::new();
+    let _ = writeln!(out, "mode            : {mode:?}");
+    let _ = writeln!(
+        out,
+        "draws           : {} (over population {})",
+        sampled.draws, sampled.population
+    );
+    let _ = writeln!(out, "experiments run : {}", sampled.experiments_run());
+    let _ = writeln!(out, "failure draws   : {}", sampled.failure_hits());
+    let _ = writeln!(
+        out,
+        "F extrapolated  : {:.0}  (95% CI [{:.0}, {:.0}])",
+        est.failures, est.ci.0, est.ci.1
+    );
+    if mode == SamplingMode::BiasedPerClass {
+        let _ = writeln!(
+            out,
+            "WARNING: per-class sampling ignores class weights (Pitfall 2); the\n\
+             estimate above is not a valid extrapolation."
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_diagram(args: &[String]) -> Result<String, CliError> {
+    let program = load_program(positional(args, 0)?)?;
+    let campaign = Campaign::new(&program)
+        .map_err(|e| CliError(format!("golden run failed: {e}")))?;
+    fault_space_diagram(campaign.analysis()).ok_or_else(|| {
+        CliError(format!(
+            "fault space too large to draw ({} cycles x {} bits)",
+            campaign.golden().cycles,
+            campaign.golden().ram_bits
+        ))
+    })
+}
+
+fn cmd_compare(args: &[String]) -> Result<String, CliError> {
+    let baseline = load_program(positional(args, 0)?)?;
+    let hardened = load_program(positional(args, 1)?)?;
+    let cb = Campaign::new(&baseline)
+        .map_err(|e| CliError(format!("{}: golden run failed: {e}", baseline.name)))?;
+    let ch = Campaign::new(&hardened)
+        .map_err(|e| CliError(format!("{}: golden run failed: {e}", hardened.name)))?;
+    let rb = cb.run_full_defuse();
+    let rh = ch.run_full_defuse();
+    let cmp = compare_failures(&exact_failures(&rb), &exact_failures(&rh));
+    let mut out = String::new();
+    let mut t = Table::new(vec!["variant", "w", "F", "coverage"]);
+    for r in [&rb, &rh] {
+        t.row(vec![
+            r.benchmark.clone(),
+            r.space.size().to_string(),
+            r.failure_weight().to_string(),
+            format!("{:.2}%", fault_coverage(r, Weighting::Weighted) * 100.0),
+        ]);
+    }
+    let _ = writeln!(out, "{t}");
+    let _ = writeln!(out, "comparison (absolute failure counts): {cmp}");
+    let _ = writeln!(
+        out,
+        "(coverage percentages are shown for reference only — they are not a\n\
+         valid comparison metric; see the paper's Pitfall 3)"
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sofi-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    const HI: &str = "
+        .data
+        msg: .space 2
+        .text
+        li r1, 'H'
+        sb r1, msg(r0)
+        li r1, 'i'
+        sb r1, msg+1(r0)
+        lb r2, msg(r0)
+        serial r2
+        lb r2, msg+1(r0)
+        serial r2
+    ";
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn run_command() {
+        let p = write_temp("hi.s", HI);
+        let out = dispatch(&args(&["run", p.to_str().unwrap()])).unwrap();
+        assert!(out.contains("cycles  : 8"), "{out}");
+        assert!(out.contains("\"Hi\""), "{out}");
+    }
+
+    #[test]
+    fn campaign_command() {
+        let p = write_temp("hi2.s", HI);
+        let out = dispatch(&args(&["campaign", p.to_str().unwrap()])).unwrap();
+        assert!(out.contains("F = 48"), "{out}");
+        assert!(out.contains("62.50% weighted"), "{out}");
+        assert!(out.contains("SDC"), "{out}");
+    }
+
+    #[test]
+    fn campaign_registers_command() {
+        let p = write_temp("hi3.s", HI);
+        let out =
+            dispatch(&args(&["campaign", p.to_str().unwrap(), "--registers"])).unwrap();
+        assert!(out.contains("RegisterFile"), "{out}");
+    }
+
+    #[test]
+    fn campaign_json_command() {
+        let p = write_temp("hi4.s", HI);
+        let out = dispatch(&args(&["campaign", p.to_str().unwrap(), "--json"])).unwrap();
+        assert!(out.contains("\"benchmark\""), "{out}");
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed["space"]["cycles"], 8);
+    }
+
+    #[test]
+    fn sample_command() {
+        let p = write_temp("hi5.s", HI);
+        let out = dispatch(&args(&[
+            "sample",
+            p.to_str().unwrap(),
+            "--draws",
+            "5000",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert!(out.contains("F extrapolated"), "{out}");
+    }
+
+    #[test]
+    fn diagram_command() {
+        let p = write_temp("hi6.s", HI);
+        let out = dispatch(&args(&["diagram", p.to_str().unwrap()])).unwrap();
+        assert!(out.contains("bit   0 |"), "{out}");
+    }
+
+    #[test]
+    fn compare_command() {
+        let base = write_temp("cmp_base.s", HI);
+        let hard = write_temp("cmp_hard.s", &format!("nop\nnop\nnop\nnop\n{HI}"));
+        let out = dispatch(&args(&[
+            "compare",
+            base.to_str().unwrap(),
+            hard.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("r = 1.000"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_friendly() {
+        assert!(dispatch(&args(&["run", "/nonexistent.s"]))
+            .unwrap_err()
+            .0
+            .contains("cannot read"));
+        assert!(dispatch(&args(&["frobnicate"]))
+            .unwrap_err()
+            .0
+            .contains("unknown command"));
+        let bad = write_temp("bad.s", "frobnicate r1\n");
+        assert!(dispatch(&args(&["run", bad.to_str().unwrap()]))
+            .unwrap_err()
+            .0
+            .contains("parse error"));
+    }
+
+    #[test]
+    fn help_text() {
+        assert!(dispatch(&[]).unwrap().contains("USAGE"));
+        assert!(dispatch(&args(&["help"])).unwrap().contains("sofi"));
+    }
+}

@@ -1,0 +1,216 @@
+//! "Dilution Fault Tolerance" — the paper's §IV benchmarking cheat.
+//!
+//! These transformations change a benchmark's fault-space size without
+//! changing its behaviour or failure count. Applied before a
+//! coverage-based evaluation they make any program look arbitrarily more
+//! "fault tolerant" (coverage → 100 % as padding → ∞), which is exactly
+//! why §IV abolishes the coverage metric for program comparison.
+
+use sofi_isa::{Inst, Program, Reg};
+
+/// DFT: prepends `n` NOP instructions (§IV-B). Runtime grows by `n`
+/// cycles, the added fault-space columns are all trivially benign, and
+/// the absolute failure count is unchanged.
+pub fn nop_dilution(program: &Program, n: usize) -> Program {
+    let mut p = program.clone();
+    p.prepend_insts(vec![Inst::NOP; n]);
+    p.name = format!("{}+dft{n}", program.name);
+    p
+}
+
+/// DFT′: prepends `n` *loads* that read RAM and discard the result
+/// (destination `r0`). Defeats the "only count activated faults"
+/// objection: every added coordinate is genuinely activated — loaded into
+/// the CPU — and still never affects the output (§IV-B).
+///
+/// The loads cycle through `addrs` (byte loads, so any in-RAM address is
+/// valid).
+///
+/// # Panics
+///
+/// Panics if `addrs` is empty or contains an address outside RAM.
+pub fn load_dilution(program: &Program, n: usize, addrs: &[u32]) -> Program {
+    assert!(!addrs.is_empty(), "load dilution needs target addresses");
+    for &a in addrs {
+        assert!(
+            a < program.ram_size,
+            "dilution address {a} outside RAM ({} bytes)",
+            program.ram_size
+        );
+        assert!(
+            a <= i16::MAX as u32,
+            "dilution address {a} not directly addressable"
+        );
+    }
+    let mut p = program.clone();
+    let loads: Vec<Inst> = (0..n)
+        .map(|i| Inst::Load {
+            rd: Reg::R0, // architecturally discarded, but the read happens
+            base: Reg::R0,
+            offset: addrs[i % addrs.len()] as i16,
+            width: sofi_isa::MemWidth::Byte,
+            signed: false,
+        })
+        .collect();
+    p.prepend_insts(loads);
+    p.name = format!("{}+dft'{n}", program.name);
+    p
+}
+
+/// Tail DFT: appends `n` NOPs after the program's last instruction (the
+/// machine executes them before running off the end of ROM).
+///
+/// Unlike [`nop_dilution`], this is failure-count-invariant for *every*
+/// program: the appended cycles lie after each bit's last access, so every
+/// added coordinate is a never-read (dormant) fault. Front-padding, by
+/// contrast, genuinely *increases* the absolute failure count of programs
+/// whose `.data` image is live at entry — the boot-initialized data sits
+/// exposed for `n` extra cycles before its first read. (The paper's "Hi"
+/// example stores its data at runtime, so there the distinction is
+/// invisible.) Either way the *coverage* rises, which is the delusion.
+pub fn nop_dilution_tail(program: &Program, n: usize) -> Program {
+    let mut p = program.clone();
+    // Route every normal termination through the appended NOP block:
+    // `halt 0` becomes a jump to the block, and falling off the old ROM
+    // end now falls into it. Abnormal halts (nonzero codes) stay put.
+    let block = p.insts.len() as u32;
+    for inst in &mut p.insts {
+        if *inst == (Inst::Halt { code: 0 }) {
+            *inst = Inst::Jal {
+                rd: Reg::R0,
+                target: block,
+            };
+        }
+    }
+    p.insts.extend(std::iter::repeat_n(Inst::NOP, n));
+    p.insts.push(Inst::Halt { code: 0 });
+    p.name = format!("{}+dft-tail{n}", program.name);
+    p
+}
+
+/// Memory-axis dilution: grows RAM by `extra_bytes` of never-touched
+/// memory. The fault space widens by `extra_bytes · 8` all-benign columns;
+/// behaviour and failure count are unchanged (§IV-C notes the DFT "could
+/// also simply have used more memory").
+pub fn memory_dilution(program: &Program, extra_bytes: u32) -> Program {
+    let mut p = program.clone();
+    p.grow_ram(program.ram_size + extra_bytes);
+    p.name = format!("{}+mem{extra_bytes}", program.name);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofi_isa::{Asm, Reg};
+    use sofi_machine::{Machine, RunStatus};
+
+    fn base() -> Program {
+        let mut a = Asm::with_name("base");
+        let msg = a.data_bytes("msg", b"Z");
+        a.lb(Reg::R1, Reg::R0, msg.offset());
+        a.serial_out(Reg::R1);
+        a.build().unwrap()
+    }
+
+    fn run(p: &Program) -> (Vec<u8>, u64, RunStatus) {
+        let mut m = Machine::new(p);
+        let s = m.run(10_000);
+        (m.serial().to_vec(), m.cycle(), s)
+    }
+
+    #[test]
+    fn nop_dilution_preserves_behaviour() {
+        let b = base();
+        let d = nop_dilution(&b, 10);
+        let (out_b, cyc_b, st_b) = run(&b);
+        let (out_d, cyc_d, st_d) = run(&d);
+        assert_eq!(out_b, out_d);
+        assert_eq!(st_b, st_d);
+        assert_eq!(cyc_d, cyc_b + 10);
+    }
+
+    #[test]
+    fn load_dilution_preserves_behaviour() {
+        let b = base();
+        let d = load_dilution(&b, 7, &[0]);
+        let (out_b, _, _) = run(&b);
+        let (out_d, cyc_d, st_d) = run(&d);
+        assert_eq!(out_b, out_d);
+        assert!(st_d.is_clean_halt());
+        assert_eq!(cyc_d, 2 + 7);
+    }
+
+    #[test]
+    fn memory_dilution_only_grows_ram() {
+        let b = base();
+        let d = memory_dilution(&b, 100);
+        assert_eq!(d.ram_size, b.ram_size + 100);
+        let (out_b, cyc_b, _) = run(&b);
+        let (out_d, cyc_d, _) = run(&d);
+        assert_eq!(out_b, out_d);
+        assert_eq!(cyc_b, cyc_d);
+    }
+
+    #[test]
+    fn tail_dilution_preserves_behaviour() {
+        let b = base();
+        let d = nop_dilution_tail(&b, 9);
+        let (out_b, cyc_b, _) = run(&b);
+        let (out_d, cyc_d, st_d) = run(&d);
+        assert_eq!(out_b, out_d);
+        assert!(st_d.is_clean_halt());
+        // 9 NOPs plus the explicit terminal halt.
+        assert_eq!(cyc_d, cyc_b + 10);
+        // No relocation happened: the original instructions are a prefix.
+        assert_eq!(&d.insts[..b.insts.len()], &b.insts[..]);
+    }
+
+    #[test]
+    fn tail_dilution_reroutes_explicit_halts() {
+        let mut a = Asm::with_name("halting");
+        let x = a.data_bytes("x", &[3]);
+        a.lb(Reg::R1, Reg::R0, x.offset());
+        a.serial_out(Reg::R1);
+        a.halt(0);
+        let b = a.build().unwrap();
+        let d = nop_dilution_tail(&b, 5);
+        let (out_b, cyc_b, _) = run(&b);
+        let (out_d, cyc_d, st_d) = run(&d);
+        assert_eq!(out_b, out_d);
+        assert!(st_d.is_clean_halt());
+        // halt → jal (1 cycle) + 5 NOPs + new halt (1 cycle).
+        assert_eq!(cyc_d, cyc_b + 6);
+    }
+
+    #[test]
+    fn zero_dilution_is_identity_except_name() {
+        let b = base();
+        let d = nop_dilution(&b, 0);
+        assert_eq!(d.insts, b.insts);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside RAM")]
+    fn load_dilution_checks_addresses() {
+        load_dilution(&base(), 1, &[99]);
+    }
+
+    #[test]
+    fn dilution_relocates_control_flow() {
+        // A program with an absolute jump keeps working after dilution.
+        let mut a = Asm::with_name("jumpy");
+        let x = a.data_bytes("x", &[5]);
+        let skip = a.new_label();
+        a.j(skip);
+        a.halt(9); // must be skipped
+        a.bind(skip);
+        a.lb(Reg::R1, Reg::R0, x.offset());
+        a.serial_out(Reg::R1);
+        let b = a.build().unwrap();
+        let d = nop_dilution(&b, 3);
+        let (out, _, st) = run(&d);
+        assert_eq!(out, vec![5]);
+        assert!(st.is_clean_halt());
+    }
+}

@@ -1,0 +1,282 @@
+//! Hash-verified duplication: DMR with an ALU-heavy signature.
+//!
+//! A second flavour of the SUM+DMR family: instead of the single-`sub`
+//! checksum of [`crate::ProtectedWord`], the "SUM" is a multi-round mixing
+//! hash computed in registers. Integrity checking therefore costs many
+//! *ALU* cycles but few extra *memory reads* — the cost profile of
+//! signature-based protection libraries that recompute checksums on every
+//! access. (For fault-space analysis the distinction matters: runtime
+//! grows without adding equivalently many def/use read classes.)
+
+use sofi_isa::{Asm, DataLabel, Reg};
+
+/// Mixing rounds of the signature hash (each round ≈ 5 instructions).
+const HASH_ROUNDS: usize = 6;
+/// Multiplicative mixing constant (from the finalizer of MurmurHash3).
+const MIX: i32 = 0x045D_9F3B_u32 as i32;
+/// Initial whitening constant (golden-ratio), so 0 is not a fixed point.
+const SEED: i32 = 0x9E37_79B9u32 as i32;
+
+/// Emits `dst = H(src)` (clobbers `tmp`; `dst`, `src`, `tmp` distinct).
+fn emit_hash(a: &mut Asm, dst: Reg, src: Reg, tmp: Reg) {
+    debug_assert!(dst != src && dst != tmp && src != tmp);
+    a.li(tmp, SEED);
+    a.xor(dst, src, tmp);
+    for round in 0..HASH_ROUNDS {
+        let shift = [16u8, 13, 17, 11, 15, 14][round % 6];
+        a.srli(tmp, dst, shift);
+        a.xor(dst, dst, tmp);
+        a.li(tmp, MIX);
+        a.mul(dst, dst, tmp);
+    }
+}
+
+/// A hash-DMR-protected 32-bit variable: primary + duplicate + signature.
+///
+/// # Examples
+///
+/// ```
+/// use sofi_isa::{Asm, Reg};
+/// use sofi_harden::HashDmrWord;
+///
+/// let mut a = Asm::with_name("demo");
+/// let w = HashDmrWord::declare(&mut a, "w", 5);
+/// w.emit_load(&mut a, Reg::R4, Reg::R1, Reg::R2, Reg::R3);
+/// a.serial_out(Reg::R4);
+/// let p = a.build().unwrap();
+/// # let mut m = sofi_machine::Machine::new(&p);
+/// # m.run(10_000);
+/// # assert_eq!(m.serial(), &[5]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashDmrWord {
+    prim: DataLabel,
+    copy: DataLabel,
+    sig: DataLabel,
+}
+
+impl HashDmrWord {
+    /// Software model of the signature hash (for initialization and
+    /// tests).
+    pub fn hash(v: u32) -> u32 {
+        let mut h = v ^ SEED as u32;
+        for round in 0..HASH_ROUNDS {
+            let shift = [16u32, 13, 17, 11, 15, 14][round % 6];
+            h ^= h >> shift;
+            h = h.wrapping_mul(MIX as u32);
+        }
+        h
+    }
+
+    /// Allocates primary, duplicate and signature words, initialized
+    /// consistently to `init`.
+    pub fn declare(a: &mut Asm, name: &str, init: u32) -> HashDmrWord {
+        HashDmrWord {
+            prim: a.data_word(format!("{name}__prim"), init),
+            copy: a.data_word(format!("{name}__copy"), init),
+            sig: a.data_word(format!("{name}__sig"), Self::hash(init)),
+        }
+    }
+
+    /// Address of the primary replica.
+    pub fn primary(&self) -> DataLabel {
+        self.prim
+    }
+
+    /// Protected store: writes both replicas and the recomputed
+    /// signature. Clobbers `s1`, `s2`.
+    pub fn emit_store(&self, a: &mut Asm, src: Reg, s1: Reg, s2: Reg) {
+        a.sw(src, Reg::R0, self.prim.offset());
+        a.sw(src, Reg::R0, self.copy.offset());
+        emit_hash(a, s1, src, s2);
+        a.sw(s1, Reg::R0, self.sig.offset());
+    }
+
+    /// Protected load: verifies the primary against the signature; on
+    /// mismatch verifies the duplicate, corrects from it (signalling), and
+    /// aborts fail-stop when neither replica matches. Leaves the value in
+    /// `dst`; clobbers all three scratches.
+    pub fn emit_load(&self, a: &mut Asm, dst: Reg, s1: Reg, s2: Reg, s3: Reg) {
+        let ok = a.new_label();
+        let try_copy = a.new_label();
+        let abort = a.new_label();
+
+        a.lw(dst, Reg::R0, self.prim.offset());
+        a.lw(s1, Reg::R0, self.sig.offset());
+        emit_hash(a, s2, dst, s3);
+        a.bne(s2, s1, try_copy);
+        a.j(ok);
+
+        a.bind(try_copy);
+        a.lw(dst, Reg::R0, self.copy.offset());
+        emit_hash(a, s2, dst, s3);
+        a.bne(s2, s1, abort);
+        // Duplicate verified: repair the primary and signal.
+        a.sw(dst, Reg::R0, self.prim.offset());
+        a.detect_signal(dst);
+        a.j(ok);
+
+        a.bind(abort);
+        a.halt(crate::SUMDMR_ABORT_CODE);
+        a.bind(ok);
+    }
+
+    /// Scrub pass: verifies both replicas against the signature and
+    /// repairs whichever single word (replica or signature) diverges,
+    /// signalling any correction; aborts when unrecoverable. Clobbers all
+    /// four registers.
+    pub fn emit_scrub(&self, a: &mut Asm, s0: Reg, s1: Reg, s2: Reg, s3: Reg) {
+        let ok = a.new_label();
+        let diverged = a.new_label();
+        let fix_from_prim = a.new_label();
+        let fix_from_copy = a.new_label();
+        let abort = a.new_label();
+
+        a.lw(s0, Reg::R0, self.prim.offset());
+        a.lw(s1, Reg::R0, self.copy.offset());
+        a.bne(s0, s1, diverged);
+        // Replicas agree: check the signature; rebuild it if stale.
+        a.lw(s2, Reg::R0, self.sig.offset());
+        emit_hash(a, s3, s0, s1);
+        a.beq(s3, s2, ok);
+        a.sw(s3, Reg::R0, self.sig.offset());
+        a.detect_signal(s0);
+        a.j(ok);
+
+        // Replicas diverge: the signature arbitrates.
+        a.bind(diverged);
+        a.lw(s2, Reg::R0, self.sig.offset());
+        emit_hash(a, s3, s0, s1);
+        a.beq(s3, s2, fix_from_prim);
+        a.lw(s1, Reg::R0, self.copy.offset());
+        emit_hash(a, s3, s1, s0);
+        a.beq(s3, s2, fix_from_copy);
+        a.j(abort);
+
+        a.bind(fix_from_prim);
+        a.lw(s0, Reg::R0, self.prim.offset());
+        a.sw(s0, Reg::R0, self.copy.offset());
+        a.detect_signal(s0);
+        a.j(ok);
+
+        a.bind(fix_from_copy);
+        a.sw(s1, Reg::R0, self.prim.offset());
+        a.detect_signal(s1);
+        a.j(ok);
+
+        a.bind(abort);
+        a.halt(crate::SUMDMR_ABORT_CODE);
+        a.bind(ok);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofi_isa::Program;
+    use sofi_machine::{Machine, RunStatus};
+
+    fn load_and_print() -> (Program, HashDmrWord) {
+        let mut a = Asm::with_name("hdw");
+        let w = HashDmrWord::declare(&mut a, "w", 0x77);
+        w.emit_load(&mut a, Reg::R4, Reg::R1, Reg::R2, Reg::R3);
+        a.serial_out(Reg::R4);
+        (a.build().unwrap(), w)
+    }
+
+    #[test]
+    fn hash_model_is_nontrivial() {
+        assert_ne!(HashDmrWord::hash(0), 0x0);
+        assert_ne!(HashDmrWord::hash(1), HashDmrWord::hash(2));
+    }
+
+    #[test]
+    fn clean_load_is_silent() {
+        let (p, _) = load_and_print();
+        let mut m = Machine::new(&p);
+        assert!(m.run(10_000).is_clean_halt());
+        assert_eq!(m.serial(), &[0x77]);
+        assert_eq!(m.detect_count(), 0);
+    }
+
+    #[test]
+    fn primary_corruption_corrected_from_copy() {
+        let (p, w) = load_and_print();
+        for bit in [0, 9, 31] {
+            let mut m = Machine::new(&p);
+            m.flip_bit(w.primary().addr() as u64 * 8 + bit);
+            m.run(10_000);
+            assert_eq!(m.serial(), &[0x77], "bit {bit}");
+            assert_eq!(m.detect_count(), 1);
+        }
+    }
+
+    #[test]
+    fn copy_corruption_is_dormant_on_load() {
+        // Loads verify the primary first; a corrupt duplicate goes
+        // unnoticed until a scrub or a correction needs it.
+        let (p, w) = load_and_print();
+        let mut m = Machine::new(&p);
+        m.flip_bit((w.primary().addr() + 4) as u64 * 8 + 3);
+        m.run(10_000);
+        assert_eq!(m.serial(), &[0x77]);
+        assert_eq!(m.detect_count(), 0);
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let mut a = Asm::with_name("rt");
+        let w = HashDmrWord::declare(&mut a, "w", 0);
+        a.li(Reg::R5, 0x0BAD_F00D_u32 as i32);
+        w.emit_store(&mut a, Reg::R5, Reg::R1, Reg::R2);
+        w.emit_load(&mut a, Reg::R4, Reg::R1, Reg::R2, Reg::R3);
+        a.xor(Reg::R6, Reg::R4, Reg::R5);
+        let bad = a.new_label();
+        a.bne(Reg::R6, Reg::R0, bad);
+        a.li(Reg::R7, 1);
+        a.serial_out(Reg::R7);
+        a.halt(0);
+        a.bind(bad);
+        a.halt(1);
+        let mut m = Machine::new(&a.build().unwrap());
+        assert!(m.run(10_000).is_clean_halt());
+        assert_eq!(m.serial(), &[1]);
+    }
+
+    #[test]
+    fn scrub_repairs_each_single_corruption() {
+        for word in 0..3u32 {
+            let mut a = Asm::with_name("scrub");
+            let w = HashDmrWord::declare(&mut a, "w", 0xAB);
+            w.emit_scrub(&mut a, Reg::R1, Reg::R2, Reg::R3, Reg::R4);
+            w.emit_load(&mut a, Reg::R5, Reg::R1, Reg::R2, Reg::R3);
+            a.serial_out(Reg::R5);
+            let p = a.build().unwrap();
+            let mut m = Machine::new(&p);
+            m.flip_bit((w.primary().addr() + 4 * word) as u64 * 8 + 6);
+            m.run(10_000);
+            assert_eq!(
+                m.status(),
+                Some(RunStatus::Halted { code: 0 }),
+                "word {word}"
+            );
+            assert_eq!(m.serial(), &[0xAB], "word {word}");
+            assert_eq!(m.detect_count(), 1, "word {word}");
+        }
+    }
+
+    #[test]
+    fn double_corruption_aborts() {
+        let (p, w) = load_and_print();
+        let mut m = Machine::new(&p);
+        m.flip_bit(w.primary().addr() as u64 * 8);
+        m.flip_bit((w.primary().addr() + 4) as u64 * 8 + 1);
+        m.run(10_000);
+        assert_eq!(
+            m.status(),
+            Some(RunStatus::Halted {
+                code: crate::SUMDMR_ABORT_CODE
+            })
+        );
+    }
+}

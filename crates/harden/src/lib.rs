@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! Software-implemented hardware fault-tolerance mechanisms.
+//!
+//! Two families of program transformations:
+//!
+//! * **Real protection** — [`ProtectedWord`] (checksummed duplication,
+//!   the paper's "SUM+DMR" class of mechanisms from \[8]) and [`TmrWord`]
+//!   (triple modular redundancy with majority vote). Both detect
+//!   corruption of protected data on access, correct it when possible
+//!   (signalling the benign `Detected & Corrected` outcome), and abort
+//!   fail-stop when not.
+//!
+//! * **Fake protection** — the paper's §IV "Dilution Fault Tolerance":
+//!   [`nop_dilution`] (DFT) pads runtime with NOPs, [`load_dilution`]
+//!   (DFT′) pads it with discarded memory reads, [`memory_dilution`] pads
+//!   the address space. None of them removes a single failure, yet all of
+//!   them *raise the fault-coverage factor* — the Fault-Space Dilution
+//!   Delusion that makes coverage unusable for comparing programs.
+//!
+//! # Examples
+//!
+//! ```
+//! use sofi_isa::{Asm, Reg};
+//! use sofi_harden::nop_dilution;
+//!
+//! let mut a = Asm::with_name("base");
+//! let x = a.data_bytes("x", &[1]);
+//! a.lb(Reg::R1, Reg::R0, x.offset());
+//! a.serial_out(Reg::R1);
+//! let base = a.build()?;
+//!
+//! let diluted = nop_dilution(&base, 4);
+//! assert_eq!(diluted.insts.len(), base.insts.len() + 4);
+//! assert_eq!(diluted.name, "base+dft4");
+//! # Ok::<(), sofi_isa::AsmError>(())
+//! ```
+
+mod dilution;
+mod hashdmr;
+mod shield;
+mod sumdmr;
+mod tmr;
+
+pub use dilution::{load_dilution, memory_dilution, nop_dilution, nop_dilution_tail};
+pub use hashdmr::HashDmrWord;
+pub use shield::Shield;
+pub use sumdmr::{ProtectedWord, SUMDMR_ABORT_CODE};
+pub use tmr::TmrWord;

@@ -1,0 +1,285 @@
+//! SUM+DMR: checksummed duplication of critical data.
+//!
+//! The real-world mechanism the paper evaluates (from its reference \[8])
+//! protects "critical data with long lifetimes" by storing a checksum and
+//! a duplicate alongside each protected object, verifying on access,
+//! correcting from the redundant copy when the checksum identifies the
+//! corrupt replica, and failing stop when it cannot.
+//!
+//! [`ProtectedWord`] is the word-granular variant used by the hardened
+//! workload builds: each protected 32-bit value occupies three words —
+//! primary, duplicate, and checksum (two's-complement negation, so
+//! checksum generation and verification are single `sub` instructions).
+
+use sofi_isa::{Asm, DataLabel, Reg};
+
+/// Halt code used by SUM+DMR when corruption is detected but no replica
+/// can be vouched for (matches `sofi_campaign::ABORT_CODE`).
+pub const SUMDMR_ABORT_CODE: u16 = 0xDE;
+
+/// A SUM+DMR-protected 32-bit variable: primary + duplicate + checksum.
+///
+/// All emitters use only the registers the caller passes in, making the
+/// protection composable with any surrounding register allocation.
+///
+/// # Examples
+///
+/// ```
+/// use sofi_isa::{Asm, Reg};
+/// use sofi_harden::ProtectedWord;
+///
+/// let mut a = Asm::with_name("demo");
+/// let counter = ProtectedWord::declare(&mut a, "counter", 41);
+/// counter.emit_load(&mut a, Reg::R1, Reg::R2, Reg::R3);
+/// a.addi(Reg::R1, Reg::R1, 1);
+/// counter.emit_store(&mut a, Reg::R1, Reg::R2);
+/// counter.emit_load(&mut a, Reg::R4, Reg::R2, Reg::R3);
+/// a.serial_out(Reg::R4);
+/// let p = a.build().unwrap();
+/// # let mut m = sofi_machine::Machine::new(&p);
+/// # m.run(1_000);
+/// # assert_eq!(m.serial(), &[42]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtectedWord {
+    prim: DataLabel,
+    copy: DataLabel,
+    sum: DataLabel,
+}
+
+impl ProtectedWord {
+    /// Allocates the three backing words in the data section, initialized
+    /// consistently to `init`.
+    pub fn declare(a: &mut Asm, name: &str, init: u32) -> ProtectedWord {
+        let prim = a.data_word(format!("{name}__prim"), init);
+        let copy = a.data_word(format!("{name}__copy"), init);
+        let sum = a.data_word(format!("{name}__sum"), init.wrapping_neg());
+        ProtectedWord { prim, copy, sum }
+    }
+
+    /// Address of the primary replica (for diagnostics/reports).
+    pub fn primary(&self) -> DataLabel {
+        self.prim
+    }
+
+    /// Protected store: writes `src` to both replicas and refreshes the
+    /// checksum. Clobbers `scratch`. Costs 4 cycles.
+    pub fn emit_store(&self, a: &mut Asm, src: Reg, scratch: Reg) {
+        debug_assert_ne!(src, scratch, "store scratch must differ from src");
+        a.sw(src, Reg::R0, self.prim.offset());
+        a.sw(src, Reg::R0, self.copy.offset());
+        a.sub(scratch, Reg::R0, src); // checksum = -value
+        a.sw(scratch, Reg::R0, self.sum.offset());
+    }
+
+    /// Protected load: reads both replicas; on mismatch consults the
+    /// checksum, takes the replica it vouches for, signals the correction,
+    /// and aborts fail-stop ([`SUMDMR_ABORT_CODE`]) if neither replica
+    /// matches. Leaves the value in `dst`; clobbers `s1` and `s2`.
+    ///
+    /// Fast path (no corruption): 3 cycles.
+    pub fn emit_load(&self, a: &mut Asm, dst: Reg, s1: Reg, s2: Reg) {
+        debug_assert!(
+            dst != s1 && dst != s2 && s1 != s2,
+            "load registers must be distinct"
+        );
+        let ok = a.new_label();
+        let use_copy = a.new_label();
+        let signal = a.new_label();
+        let abort = a.new_label();
+
+        a.lw(dst, Reg::R0, self.prim.offset());
+        a.lw(s1, Reg::R0, self.copy.offset());
+        a.beq(dst, s1, ok); // fast path
+        a.lw(s2, Reg::R0, self.sum.offset());
+        a.sub(s2, Reg::R0, s2); // candidate value per checksum
+        a.beq(s1, s2, use_copy); // duplicate verified → primary was corrupt
+        a.bne(dst, s2, abort); // primary unverified too → fail-stop
+        a.j(signal); // primary verified (dst already holds it)
+        a.bind(use_copy);
+        a.mv(dst, s1);
+        a.bind(signal);
+        a.detect_signal(dst);
+        a.j(ok);
+        a.bind(abort);
+        a.halt(SUMDMR_ABORT_CODE);
+        a.bind(ok);
+    }
+
+    /// Scrub pass: verifies replicas *and* checksum, repairs any single
+    /// corruption (signalling it), and aborts when unrecoverable. Used by
+    /// hardened workloads that periodically sweep their protected state.
+    /// Clean-path cost: 6 cycles per word. Clobbers all three registers.
+    pub fn emit_scrub(&self, a: &mut Asm, s0: Reg, s1: Reg, s2: Reg) {
+        let ok = a.new_label();
+        let use_copy = a.new_label();
+        let repair = a.new_label();
+        let abort = a.new_label();
+        let diverged = a.new_label();
+
+        a.lw(s0, Reg::R0, self.prim.offset());
+        a.lw(s1, Reg::R0, self.copy.offset());
+        a.bne(s0, s1, diverged);
+        // Replicas agree; verify (and if needed rebuild) the checksum so a
+        // corrupted sum cannot linger and mislead a later correction.
+        a.lw(s2, Reg::R0, self.sum.offset());
+        a.sub(s2, Reg::R0, s2);
+        a.beq(s0, s2, ok);
+        a.sub(s1, Reg::R0, s0);
+        a.sw(s1, Reg::R0, self.sum.offset());
+        a.detect_signal(s0);
+        a.j(ok);
+
+        a.bind(diverged);
+        a.lw(s2, Reg::R0, self.sum.offset());
+        a.sub(s2, Reg::R0, s2);
+        a.beq(s1, s2, use_copy);
+        a.bne(s0, s2, abort);
+        a.j(repair); // primary good: s0 holds the value
+        a.bind(use_copy);
+        a.mv(s0, s1);
+        a.bind(repair);
+        // Write the vouched-for value back to both replicas + checksum.
+        a.sw(s0, Reg::R0, self.prim.offset());
+        a.sw(s0, Reg::R0, self.copy.offset());
+        a.sub(s1, Reg::R0, s0);
+        a.sw(s1, Reg::R0, self.sum.offset());
+        a.detect_signal(s0);
+        a.j(ok);
+        a.bind(abort);
+        a.halt(SUMDMR_ABORT_CODE);
+        a.bind(ok);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofi_isa::Program;
+    use sofi_machine::{Machine, RunStatus};
+
+    /// Builds: load protected word, emit low byte on serial.
+    fn load_and_print() -> (Program, ProtectedWord) {
+        let mut a = Asm::with_name("pw");
+        let w = ProtectedWord::declare(&mut a, "w", 0x61);
+        w.emit_load(&mut a, Reg::R1, Reg::R2, Reg::R3);
+        a.serial_out(Reg::R1);
+        (a.build().unwrap(), w)
+    }
+
+    #[test]
+    fn clean_run_prints_value() {
+        let (p, _) = load_and_print();
+        let mut m = Machine::new(&p);
+        assert!(m.run(1_000).is_clean_halt());
+        assert_eq!(m.serial(), &[0x61]);
+        assert_eq!(m.detect_count(), 0);
+    }
+
+    fn run_with_flip(p: &Program, bit: u64) -> Machine {
+        let mut m = Machine::new(p);
+        m.flip_bit(bit); // corrupt before the first instruction
+        m.run(1_000);
+        m
+    }
+
+    #[test]
+    fn primary_corruption_corrected() {
+        let (p, w) = load_and_print();
+        for bit_in_word in 0..32 {
+            let m = run_with_flip(&p, w.primary().addr() as u64 * 8 + bit_in_word);
+            assert_eq!(m.status(), Some(RunStatus::Halted { code: 0 }));
+            assert_eq!(m.serial(), &[0x61], "bit {bit_in_word}");
+            assert_eq!(m.detect_count(), 1);
+        }
+    }
+
+    #[test]
+    fn copy_corruption_corrected() {
+        let (p, w) = load_and_print();
+        let copy_bit0 = (w.primary().addr() + 4) as u64 * 8;
+        for off in [0, 7, 13, 31] {
+            let m = run_with_flip(&p, copy_bit0 + off);
+            assert_eq!(m.serial(), &[0x61]);
+            assert_eq!(m.detect_count(), 1);
+        }
+    }
+
+    #[test]
+    fn sum_corruption_is_dormant_on_clean_replicas() {
+        let (p, w) = load_and_print();
+        let sum_bit0 = (w.primary().addr() + 8) as u64 * 8;
+        let m = run_with_flip(&p, sum_bit0 + 5);
+        assert_eq!(m.serial(), &[0x61]);
+        assert_eq!(m.detect_count(), 0); // load fast path never consults it
+    }
+
+    #[test]
+    fn scrub_repairs_corrupted_checksum() {
+        let mut a = Asm::with_name("scrub-sum");
+        let w = ProtectedWord::declare(&mut a, "w", 7);
+        w.emit_scrub(&mut a, Reg::R1, Reg::R2, Reg::R3);
+        // The checksum word must be consistent again after the scrub.
+        a.lw(Reg::R4, Reg::R0, w.primary().at(8).offset());
+        a.sub(Reg::R4, Reg::R0, Reg::R4);
+        a.serial_out(Reg::R4); // -(-7) = 7
+        let p = a.build().unwrap();
+        let m = run_with_flip(&p, (w.primary().addr() + 8) as u64 * 8 + 2);
+        assert_eq!(m.serial(), &[7]);
+        assert_eq!(m.detect_count(), 1);
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let mut a = Asm::with_name("rt");
+        let w = ProtectedWord::declare(&mut a, "w", 0);
+        a.li(Reg::R1, 0x1234_5678);
+        w.emit_store(&mut a, Reg::R1, Reg::R2);
+        w.emit_load(&mut a, Reg::R4, Reg::R2, Reg::R3);
+        a.xor(Reg::R5, Reg::R4, Reg::R1);
+        let fail = a.new_label();
+        a.bne(Reg::R5, Reg::R0, fail);
+        a.li(Reg::R6, b'Y' as i32);
+        a.serial_out(Reg::R6);
+        a.halt(0);
+        a.bind(fail);
+        a.halt(1);
+        let p = a.build().unwrap();
+        let mut m = Machine::new(&p);
+        assert!(m.run(1_000).is_clean_halt());
+        assert_eq!(m.serial(), b"Y");
+    }
+
+    #[test]
+    fn scrub_repairs_replicas() {
+        let mut a = Asm::with_name("scrub");
+        let w = ProtectedWord::declare(&mut a, "w", 7);
+        w.emit_scrub(&mut a, Reg::R1, Reg::R2, Reg::R3);
+        // After the scrub, a plain unprotected load of the primary must
+        // already see the repaired value.
+        a.lw(Reg::R4, Reg::R0, w.primary().offset());
+        a.serial_out(Reg::R4);
+        let p = a.build().unwrap();
+        let m = run_with_flip(&p, w.primary().addr() as u64 * 8 + 4); // 7 → 23
+        assert_eq!(m.serial(), &[7]);
+        assert_eq!(m.detect_count(), 1);
+    }
+
+    #[test]
+    fn double_corruption_fails_stop() {
+        // Corrupt primary AND checksum consistently cannot happen with a
+        // single flip; simulate the unrecoverable case by flipping primary
+        // and copy to two different wrong values.
+        let (p, w) = load_and_print();
+        let mut m = Machine::new(&p);
+        m.flip_bit(w.primary().addr() as u64 * 8); // primary bit 0
+        m.flip_bit((w.primary().addr() + 4) as u64 * 8 + 1); // copy bit 1
+        m.run(1_000);
+        assert_eq!(
+            m.status(),
+            Some(RunStatus::Halted {
+                code: SUMDMR_ABORT_CODE
+            })
+        );
+    }
+}

@@ -1,0 +1,420 @@
+//! Binary instruction encoding.
+//!
+//! Instructions are fixed 32-bit words with the following field layout
+//! (bit 31 is the most significant):
+//!
+//! ```text
+//! R-format:  | op 31:26 | rd 25:22 | rs1 21:18 | rs2 17:14 | 0 13:0   |
+//! I-format:  | op 31:26 | rd 25:22 | rs1 21:18 | 0 17:16   | imm 15:0 |
+//! B-format:  | op 31:26 | 0  25:22 | rs1 21:18 | rs2 17:14 | imm 13:0 | (signed)
+//! J-format:  | op 31:26 | rd 25:22 | target 21:0                      |
+//! ```
+//!
+//! The encoding is exercised by an exhaustive round-trip property test; the
+//! machine itself executes decoded [`Inst`] values, so the encoding's role is
+//! program serialization and the text assembler's object format.
+
+use crate::error::DecodeError;
+use crate::inst::{BranchKind, Inst, MemWidth, Opcode};
+use crate::Reg;
+
+const OP_SHIFT: u32 = 26;
+const RD_SHIFT: u32 = 22;
+const RS1_SHIFT: u32 = 18;
+const RS2_SHIFT: u32 = 14;
+const REG_MASK: u32 = 0xF;
+const IMM16_MASK: u32 = 0xFFFF;
+const IMM14_MASK: u32 = 0x3FFF;
+const IMM22_MASK: u32 = 0x3F_FFFF;
+
+/// Maximum branch offset in instructions (14-bit signed field).
+pub const BRANCH_MAX: i32 = (1 << 13) - 1;
+/// Minimum branch offset in instructions.
+pub const BRANCH_MIN: i32 = -(1 << 13);
+/// Maximum absolute jump target (22-bit field).
+pub const JAL_MAX: u32 = (1 << 22) - 1;
+
+fn r_format(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    ((op as u32) << OP_SHIFT)
+        | ((rd.index() as u32) << RD_SHIFT)
+        | ((rs1.index() as u32) << RS1_SHIFT)
+        | ((rs2.index() as u32) << RS2_SHIFT)
+}
+
+fn i_format(op: Opcode, rd: Reg, rs1: Reg, imm: u16) -> u32 {
+    ((op as u32) << OP_SHIFT)
+        | ((rd.index() as u32) << RD_SHIFT)
+        | ((rs1.index() as u32) << RS1_SHIFT)
+        | (imm as u32)
+}
+
+fn b_format(op: Opcode, rs1: Reg, rs2: Reg, offset: i16) -> u32 {
+    ((op as u32) << OP_SHIFT)
+        | ((rs1.index() as u32) << RS1_SHIFT)
+        | ((rs2.index() as u32) << RS2_SHIFT)
+        | ((offset as i32 as u32) & IMM14_MASK)
+}
+
+/// Encodes an instruction into its 32-bit binary form.
+///
+/// # Examples
+///
+/// ```
+/// use sofi_isa::{encode, decode, Inst, Reg};
+/// let i = Inst::Addi { rd: Reg::R1, rs1: Reg::R0, imm: -7 };
+/// assert_eq!(decode(encode(i)).unwrap(), i);
+/// ```
+///
+/// # Panics
+///
+/// Panics if a `Branch` offset is outside `[BRANCH_MIN, BRANCH_MAX]` or a
+/// `Jal` target exceeds `JAL_MAX`; the assembler validates these before
+/// encoding.
+pub fn encode(inst: Inst) -> u32 {
+    use Inst::*;
+    match inst {
+        Add { rd, rs1, rs2 } => r_format(Opcode::Add, rd, rs1, rs2),
+        Sub { rd, rs1, rs2 } => r_format(Opcode::Sub, rd, rs1, rs2),
+        And { rd, rs1, rs2 } => r_format(Opcode::And, rd, rs1, rs2),
+        Or { rd, rs1, rs2 } => r_format(Opcode::Or, rd, rs1, rs2),
+        Xor { rd, rs1, rs2 } => r_format(Opcode::Xor, rd, rs1, rs2),
+        Sll { rd, rs1, rs2 } => r_format(Opcode::Sll, rd, rs1, rs2),
+        Srl { rd, rs1, rs2 } => r_format(Opcode::Srl, rd, rs1, rs2),
+        Sra { rd, rs1, rs2 } => r_format(Opcode::Sra, rd, rs1, rs2),
+        Slt { rd, rs1, rs2 } => r_format(Opcode::Slt, rd, rs1, rs2),
+        Sltu { rd, rs1, rs2 } => r_format(Opcode::Sltu, rd, rs1, rs2),
+        Mul { rd, rs1, rs2 } => r_format(Opcode::Mul, rd, rs1, rs2),
+        Addi { rd, rs1, imm } => i_format(Opcode::Addi, rd, rs1, imm as u16),
+        Andi { rd, rs1, imm } => i_format(Opcode::Andi, rd, rs1, imm as u16),
+        Ori { rd, rs1, imm } => i_format(Opcode::Ori, rd, rs1, imm as u16),
+        Xori { rd, rs1, imm } => i_format(Opcode::Xori, rd, rs1, imm as u16),
+        Slti { rd, rs1, imm } => i_format(Opcode::Slti, rd, rs1, imm as u16),
+        Slli { rd, rs1, shamt } => i_format(Opcode::Slli, rd, rs1, (shamt & 31) as u16),
+        Srli { rd, rs1, shamt } => i_format(Opcode::Srli, rd, rs1, (shamt & 31) as u16),
+        Srai { rd, rs1, shamt } => i_format(Opcode::Srai, rd, rs1, (shamt & 31) as u16),
+        Lui { rd, imm } => i_format(Opcode::Lui, rd, Reg::R0, imm),
+        Load {
+            rd,
+            base,
+            offset,
+            width,
+            signed,
+        } => {
+            let op = match (width, signed) {
+                (MemWidth::Byte, true) => Opcode::Lb,
+                (MemWidth::Byte, false) => Opcode::Lbu,
+                (MemWidth::Half, true) => Opcode::Lh,
+                (MemWidth::Half, false) => Opcode::Lhu,
+                (MemWidth::Word, _) => Opcode::Lw,
+            };
+            i_format(op, rd, base, offset as u16)
+        }
+        Store {
+            rs,
+            base,
+            offset,
+            width,
+        } => {
+            let op = match width {
+                MemWidth::Byte => Opcode::Sb,
+                MemWidth::Half => Opcode::Sh,
+                MemWidth::Word => Opcode::Sw,
+            };
+            i_format(op, rs, base, offset as u16)
+        }
+        Branch {
+            kind,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            let off = offset as i32;
+            assert!(
+                (BRANCH_MIN..=BRANCH_MAX).contains(&off),
+                "branch offset {off} out of range"
+            );
+            let op = match kind {
+                BranchKind::Eq => Opcode::Beq,
+                BranchKind::Ne => Opcode::Bne,
+                BranchKind::Lt => Opcode::Blt,
+                BranchKind::Ge => Opcode::Bge,
+                BranchKind::Ltu => Opcode::Bltu,
+                BranchKind::Geu => Opcode::Bgeu,
+            };
+            b_format(op, rs1, rs2, offset)
+        }
+        Jal { rd, target } => {
+            assert!(target <= JAL_MAX, "jal target {target} out of range");
+            ((Opcode::Jal as u32) << OP_SHIFT) | ((rd.index() as u32) << RD_SHIFT) | target
+        }
+        Jalr { rd, rs1, offset } => i_format(Opcode::Jalr, rd, rs1, offset as u16),
+        Halt { code } => i_format(Opcode::Halt, Reg::R0, Reg::R0, code),
+    }
+}
+
+fn reg_at(word: u32, shift: u32) -> Reg {
+    // The 4-bit field always decodes to a valid register.
+    Reg::from_index(((word >> shift) & REG_MASK) as usize).expect("4-bit register field")
+}
+
+/// Sign-extends the low 14 bits of `v`.
+fn sext14(v: u32) -> i16 {
+    let v = (v & IMM14_MASK) as i32;
+    if v & (1 << 13) != 0 {
+        (v - (1 << 14)) as i16
+    } else {
+        v as i16
+    }
+}
+
+/// Decodes a 32-bit word back into an [`Inst`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode field does not name a defined
+/// instruction.
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let opv = (word >> OP_SHIFT) as u8 & 0x3F;
+    let op = Opcode::from_u8(opv).ok_or(DecodeError::BadOpcode(opv))?;
+    let rd = reg_at(word, RD_SHIFT);
+    let rs1 = reg_at(word, RS1_SHIFT);
+    let rs2 = reg_at(word, RS2_SHIFT);
+    let imm16 = (word & IMM16_MASK) as u16;
+    let simm = imm16 as i16;
+    let shamt = (imm16 & 31) as u8;
+
+    use Inst::*;
+    let inst = match op {
+        Opcode::Add => Add { rd, rs1, rs2 },
+        Opcode::Sub => Sub { rd, rs1, rs2 },
+        Opcode::And => And { rd, rs1, rs2 },
+        Opcode::Or => Or { rd, rs1, rs2 },
+        Opcode::Xor => Xor { rd, rs1, rs2 },
+        Opcode::Sll => Sll { rd, rs1, rs2 },
+        Opcode::Srl => Srl { rd, rs1, rs2 },
+        Opcode::Sra => Sra { rd, rs1, rs2 },
+        Opcode::Slt => Slt { rd, rs1, rs2 },
+        Opcode::Sltu => Sltu { rd, rs1, rs2 },
+        Opcode::Mul => Mul { rd, rs1, rs2 },
+        Opcode::Addi => Addi { rd, rs1, imm: simm },
+        Opcode::Andi => Andi { rd, rs1, imm: simm },
+        Opcode::Ori => Ori { rd, rs1, imm: simm },
+        Opcode::Xori => Xori { rd, rs1, imm: simm },
+        Opcode::Slti => Slti { rd, rs1, imm: simm },
+        Opcode::Slli => Slli { rd, rs1, shamt },
+        Opcode::Srli => Srli { rd, rs1, shamt },
+        Opcode::Srai => Srai { rd, rs1, shamt },
+        Opcode::Lui => Lui { rd, imm: imm16 },
+        Opcode::Lb | Opcode::Lbu | Opcode::Lh | Opcode::Lhu | Opcode::Lw => {
+            let (width, signed) = match op {
+                Opcode::Lb => (MemWidth::Byte, true),
+                Opcode::Lbu => (MemWidth::Byte, false),
+                Opcode::Lh => (MemWidth::Half, true),
+                Opcode::Lhu => (MemWidth::Half, false),
+                _ => (MemWidth::Word, true),
+            };
+            Load {
+                rd,
+                base: rs1,
+                offset: simm,
+                width,
+                signed,
+            }
+        }
+        Opcode::Sb | Opcode::Sh | Opcode::Sw => {
+            let width = match op {
+                Opcode::Sb => MemWidth::Byte,
+                Opcode::Sh => MemWidth::Half,
+                _ => MemWidth::Word,
+            };
+            Store {
+                rs: rd,
+                base: rs1,
+                offset: simm,
+                width,
+            }
+        }
+        Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge | Opcode::Bltu | Opcode::Bgeu => {
+            let kind = match op {
+                Opcode::Beq => BranchKind::Eq,
+                Opcode::Bne => BranchKind::Ne,
+                Opcode::Blt => BranchKind::Lt,
+                Opcode::Bge => BranchKind::Ge,
+                Opcode::Bltu => BranchKind::Ltu,
+                _ => BranchKind::Geu,
+            };
+            Branch {
+                kind,
+                rs1,
+                rs2,
+                offset: sext14(word),
+            }
+        }
+        Opcode::Jal => Jal {
+            rd,
+            target: word & IMM22_MASK,
+        },
+        Opcode::Jalr => Jalr {
+            rd,
+            rs1,
+            offset: simm,
+        },
+        Opcode::Halt => Halt { code: imm16 },
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn any_reg() -> impl Strategy<Value = Reg> {
+        (0usize..16).prop_map(|i| Reg::from_index(i).unwrap())
+    }
+
+    fn any_width() -> impl Strategy<Value = MemWidth> {
+        prop_oneof![
+            Just(MemWidth::Byte),
+            Just(MemWidth::Half),
+            Just(MemWidth::Word)
+        ]
+    }
+
+    fn any_branch_kind() -> impl Strategy<Value = BranchKind> {
+        prop_oneof![
+            Just(BranchKind::Eq),
+            Just(BranchKind::Ne),
+            Just(BranchKind::Lt),
+            Just(BranchKind::Ge),
+            Just(BranchKind::Ltu),
+            Just(BranchKind::Geu),
+        ]
+    }
+
+    /// Strategy generating every instruction form with arbitrary operands.
+    pub(crate) fn any_inst() -> impl Strategy<Value = Inst> {
+        let r3 = || (any_reg(), any_reg(), any_reg());
+        prop_oneof![
+            r3().prop_map(|(rd, rs1, rs2)| Inst::Add { rd, rs1, rs2 }),
+            r3().prop_map(|(rd, rs1, rs2)| Inst::Sub { rd, rs1, rs2 }),
+            r3().prop_map(|(rd, rs1, rs2)| Inst::And { rd, rs1, rs2 }),
+            r3().prop_map(|(rd, rs1, rs2)| Inst::Or { rd, rs1, rs2 }),
+            r3().prop_map(|(rd, rs1, rs2)| Inst::Xor { rd, rs1, rs2 }),
+            r3().prop_map(|(rd, rs1, rs2)| Inst::Sll { rd, rs1, rs2 }),
+            r3().prop_map(|(rd, rs1, rs2)| Inst::Srl { rd, rs1, rs2 }),
+            r3().prop_map(|(rd, rs1, rs2)| Inst::Sra { rd, rs1, rs2 }),
+            r3().prop_map(|(rd, rs1, rs2)| Inst::Slt { rd, rs1, rs2 }),
+            r3().prop_map(|(rd, rs1, rs2)| Inst::Sltu { rd, rs1, rs2 }),
+            r3().prop_map(|(rd, rs1, rs2)| Inst::Mul { rd, rs1, rs2 }),
+            (any_reg(), any_reg(), any::<i16>())
+                .prop_map(|(rd, rs1, imm)| Inst::Addi { rd, rs1, imm }),
+            (any_reg(), any_reg(), any::<i16>())
+                .prop_map(|(rd, rs1, imm)| Inst::Andi { rd, rs1, imm }),
+            (any_reg(), any_reg(), any::<i16>())
+                .prop_map(|(rd, rs1, imm)| Inst::Ori { rd, rs1, imm }),
+            (any_reg(), any_reg(), any::<i16>())
+                .prop_map(|(rd, rs1, imm)| Inst::Xori { rd, rs1, imm }),
+            (any_reg(), any_reg(), any::<i16>())
+                .prop_map(|(rd, rs1, imm)| Inst::Slti { rd, rs1, imm }),
+            (any_reg(), any_reg(), 0u8..32)
+                .prop_map(|(rd, rs1, shamt)| Inst::Slli { rd, rs1, shamt }),
+            (any_reg(), any_reg(), 0u8..32)
+                .prop_map(|(rd, rs1, shamt)| Inst::Srli { rd, rs1, shamt }),
+            (any_reg(), any_reg(), 0u8..32)
+                .prop_map(|(rd, rs1, shamt)| Inst::Srai { rd, rs1, shamt }),
+            (any_reg(), any::<u16>()).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
+            (any_reg(), any_reg(), any::<i16>(), any_width(), any::<bool>()).prop_map(
+                |(rd, base, offset, width, signed)| Inst::Load {
+                    rd,
+                    base,
+                    offset,
+                    width,
+                    // Word loads are always "signed" canonically.
+                    signed: signed || width == MemWidth::Word,
+                }
+            ),
+            (any_reg(), any_reg(), any::<i16>(), any_width()).prop_map(
+                |(rs, base, offset, width)| Inst::Store {
+                    rs,
+                    base,
+                    offset,
+                    width
+                }
+            ),
+            (
+                any_branch_kind(),
+                any_reg(),
+                any_reg(),
+                (BRANCH_MIN as i16)..=(BRANCH_MAX as i16)
+            )
+                .prop_map(|(kind, rs1, rs2, offset)| Inst::Branch {
+                    kind,
+                    rs1,
+                    rs2,
+                    offset
+                }),
+            (any_reg(), 0u32..=JAL_MAX).prop_map(|(rd, target)| Inst::Jal { rd, target }),
+            (any_reg(), any_reg(), any::<i16>())
+                .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+            any::<u16>().prop_map(|code| Inst::Halt { code }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_round_trip(inst in any_inst()) {
+            let word = encode(inst);
+            let back = decode(word).unwrap();
+            prop_assert_eq!(back, inst);
+        }
+
+        #[test]
+        fn decode_never_panics(word in any::<u32>()) {
+            let _ = decode(word);
+        }
+
+        #[test]
+        fn decode_encode_stable(word in any::<u32>()) {
+            // Any successfully decoded word re-encodes to something that
+            // decodes to the same instruction (canonicalization is stable).
+            if let Ok(inst) = decode(word) {
+                let canon = encode(inst);
+                prop_assert_eq!(decode(canon).unwrap(), inst);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        // Opcode 30 is unassigned.
+        let word = 30u32 << 26;
+        assert_eq!(decode(word), Err(DecodeError::BadOpcode(30)));
+    }
+
+    #[test]
+    fn sext14_edges() {
+        assert_eq!(sext14(0), 0);
+        assert_eq!(sext14(0x1FFF), 8191);
+        assert_eq!(sext14(0x2000), -8192);
+        assert_eq!(sext14(0x3FFF), -1);
+    }
+
+    #[test]
+    fn nop_encoding_is_zero_fields() {
+        // addi r0, r0, 0 encodes as just the Addi opcode.
+        assert_eq!(encode(Inst::NOP), (Opcode::Addi as u32) << 26);
+    }
+
+    #[test]
+    #[should_panic(expected = "branch offset")]
+    fn branch_overflow_panics() {
+        // i16::MAX exceeds the 14-bit field.
+        encode(Inst::Branch {
+            kind: BranchKind::Eq,
+            rs1: Reg::R0,
+            rs2: Reg::R0,
+            offset: i16::MAX,
+        });
+    }
+}

@@ -1,0 +1,114 @@
+//! Error types for encoding and assembly.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error decoding a 32-bit instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The 6-bit opcode field does not name a defined instruction.
+    BadOpcode(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "undefined opcode {op:#04x}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Error produced by the programmatic or text assembler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A branch target is further away than the 14-bit offset field allows.
+    BranchOutOfRange {
+        /// Label or description of the target.
+        target: String,
+        /// Required offset in instructions.
+        offset: i64,
+    },
+    /// A jump target exceeds the 22-bit absolute field.
+    JumpOutOfRange(u32),
+    /// An immediate does not fit its field.
+    ImmOutOfRange {
+        /// What the immediate belongs to.
+        context: String,
+        /// The offending value.
+        value: i64,
+    },
+    /// The text assembler failed to parse a line.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// The data section exceeds the configured RAM size.
+    DataTooLarge {
+        /// Bytes required by the data section.
+        need: u32,
+        /// Configured RAM size in bytes.
+        ram: u32,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::BranchOutOfRange { target, offset } => {
+                write!(f, "branch to `{target}` out of range (offset {offset})")
+            }
+            AsmError::JumpOutOfRange(t) => write!(f, "jump target {t} out of range"),
+            AsmError::ImmOutOfRange { context, value } => {
+                write!(f, "immediate {value} out of range for {context}")
+            }
+            AsmError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            AsmError::DataTooLarge { need, ram } => {
+                write!(f, "data section needs {need} bytes but RAM is {ram} bytes")
+            }
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            DecodeError::BadOpcode(0x1e).to_string(),
+            "undefined opcode 0x1e"
+        );
+        assert_eq!(
+            AsmError::UndefinedLabel("loop".into()).to_string(),
+            "undefined label `loop`"
+        );
+        assert_eq!(
+            AsmError::Parse {
+                line: 3,
+                msg: "bad register".into()
+            }
+            .to_string(),
+            "parse error at line 3: bad register"
+        );
+    }
+
+    #[test]
+    fn errors_are_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<DecodeError>();
+        assert_err::<AsmError>();
+    }
+}

@@ -1,0 +1,776 @@
+//! The CPU core: in-order, one instruction per cycle.
+
+use crate::observer::{AccessKind, MemAccess, MemObserver, NullObserver};
+use crate::ram::Ram;
+use crate::status::{RunStatus, StepResult};
+use crate::trap::Trap;
+use sofi_isa::{
+    BranchKind, Inst, MemWidth, Program, Reg, MMIO_BASE, MMIO_CYCLE, MMIO_DETECT, MMIO_INPUT,
+    MMIO_SERIAL,
+};
+use std::sync::Arc;
+
+/// A deterministic external event: at the start of `cycle` the machine
+/// latches `value` into the memory-mapped input register
+/// ([`sofi_isa::MMIO_INPUT`]). This realizes §II-C's footnote — external
+/// inputs "are replayed at the exact same point in time during each run" —
+/// so benchmarks with asynchronous input stay bit-for-bit deterministic
+/// and fault-injection campaigns over them remain valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ExternalEvent {
+    /// The cycle at whose start the value becomes visible (1-based; the
+    /// instruction executing in this cycle already reads the new value).
+    pub cycle: u64,
+    /// The latched value.
+    pub value: u32,
+}
+
+/// Execution-environment limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Maximum bytes the serial device accepts before trapping. Faulted runs
+    /// can get stuck in output loops; this bound keeps experiments finite.
+    pub serial_limit: usize,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            serial_limit: 64 * 1024,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Running,
+    Halted { code: u16 },
+    Trapped(Trap),
+}
+
+/// The simulated machine: CPU registers, program counter, cycle counter,
+/// RAM, and the MMIO devices (serial sink, detection port, cycle counter).
+///
+/// The instruction ROM is shared (`Arc`) between clones, so forking a
+/// machine for an injection experiment costs one RAM copy plus registers.
+///
+/// Cycle numbering follows the paper's fault-space convention: the n-th
+/// executed instruction runs *in cycle n* (1-based), and a fault coordinate
+/// `(c, bit)` means the flip becomes visible at the start of cycle `c` —
+/// i.e. the instruction executing in cycle `c` already sees the flipped
+/// value. [`Machine::run_to`] plus [`Machine::flip_bit`] realize this:
+/// `run_to(c - 1)` executes exactly `c - 1` instructions, the flip is
+/// applied, and execution resumes with cycle `c`.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    regs: [u32; 16],
+    pc: u32,
+    cycle: u64,
+    ram: Ram,
+    rom: Arc<[Inst]>,
+    serial: Vec<u8>,
+    detect_count: u64,
+    events: Arc<[ExternalEvent]>,
+    next_event: usize,
+    input_latch: u32,
+    state: State,
+    config: MachineConfig,
+}
+
+impl Machine {
+    /// Creates a machine loaded with `program`, RAM initialized from its
+    /// data image, registers and cycle counter zeroed.
+    pub fn new(program: &Program) -> Self {
+        Machine::with_config(program, MachineConfig::default())
+    }
+
+    /// Creates a machine with explicit [`MachineConfig`] limits.
+    pub fn with_config(program: &Program, config: MachineConfig) -> Self {
+        Machine::with_events(program, config, Vec::new())
+    }
+
+    /// Creates a machine with a deterministic external-event schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the events are not sorted by ascending cycle.
+    pub fn with_events(
+        program: &Program,
+        config: MachineConfig,
+        events: Vec<ExternalEvent>,
+    ) -> Self {
+        assert!(
+            events.windows(2).all(|w| w[0].cycle <= w[1].cycle),
+            "external events must be sorted by cycle"
+        );
+        Machine {
+            regs: [0; 16],
+            pc: 0,
+            cycle: 0,
+            ram: Ram::with_image(program.ram_size, &program.data),
+            rom: program.insts.clone().into(),
+            serial: Vec::new(),
+            detect_count: 0,
+            events: events.into(),
+            next_event: 0,
+            input_latch: 0,
+            state: State::Running,
+            config,
+        }
+    }
+
+    /// Completed instruction count (equals the current time coordinate of
+    /// the fault space after the run finishes: `Δt`).
+    #[inline]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current program counter (instruction index).
+    #[inline]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Bytes written to the serial device so far.
+    #[inline]
+    pub fn serial(&self) -> &[u8] {
+        &self.serial
+    }
+
+    /// Number of detected-and-corrected signals raised via the MMIO
+    /// detection port.
+    #[inline]
+    pub fn detect_count(&self) -> u64 {
+        self.detect_count
+    }
+
+    /// Reads a register (for tests and diagnostics).
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// The machine's RAM.
+    #[inline]
+    pub fn ram(&self) -> &Ram {
+        &self.ram
+    }
+
+    /// The machine's final status, or `None` while still running.
+    pub fn status(&self) -> Option<RunStatus> {
+        match self.state {
+            State::Running => None,
+            State::Halted { code } => Some(RunStatus::Halted { code }),
+            State::Trapped(t) => Some(RunStatus::Trapped(t)),
+        }
+    }
+
+    /// Injects a transient single-bit flip into RAM. `bit` is the flat
+    /// fault-space memory coordinate (`addr * 8 + bit_in_byte`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is outside RAM.
+    #[inline]
+    pub fn flip_bit(&mut self, bit: u64) {
+        self.ram.flip_bit(bit);
+    }
+
+    /// Injects a transient single-bit flip into the register file. `bit`
+    /// is the flat register-fault-space coordinate
+    /// `(reg − 1) · 32 + bit_in_reg` over `r1..r15` (§VI-B's register
+    /// fault model; `r0` is hard-wired and immune).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 480`.
+    #[inline]
+    pub fn flip_reg_bit(&mut self, bit: u64) {
+        assert!(
+            bit < crate::observer::REG_FILE_BITS,
+            "register bit {bit} outside the register file"
+        );
+        self.regs[1 + (bit / 32) as usize] ^= 1 << (bit % 32);
+    }
+
+    #[inline]
+    fn write_reg(&mut self, r: Reg, v: u32) {
+        if r != Reg::R0 {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Executes one instruction without observation.
+    pub fn step(&mut self) -> StepResult {
+        self.step_observed(&mut NullObserver)
+    }
+
+    /// Executes one instruction, reporting RAM accesses to `obs`.
+    ///
+    /// Returns [`StepResult::Halted`]/[`StepResult::Trapped`] when the
+    /// machine stops; repeated calls after a stop return the same result
+    /// without executing anything.
+    pub fn step_observed<O: MemObserver>(&mut self, obs: &mut O) -> StepResult {
+        match self.state {
+            State::Halted { code } => return StepResult::Halted { code },
+            State::Trapped(t) => return StepResult::Trapped(t),
+            State::Running => {}
+        }
+        if self.pc as usize >= self.rom.len() {
+            // Run-to-completion: falling off the end is a clean halt and
+            // consumes no cycle (the paper's Δt counts executed
+            // instructions only).
+            self.state = State::Halted { code: 0 };
+            return StepResult::Halted { code: 0 };
+        }
+        let inst = self.rom[self.pc as usize];
+        let this_cycle = self.cycle + 1;
+        let mut next_pc = self.pc + 1;
+
+        // Replay external events scheduled for this cycle (they become
+        // visible to the instruction executing now).
+        while let Some(ev) = self.events.get(self.next_event) {
+            if ev.cycle > this_cycle {
+                break;
+            }
+            self.input_latch = ev.value;
+            self.next_event += 1;
+        }
+
+        // Register-file access events (reads now, the write after the
+        // instruction has executed). `r0` is hard-wired, never reported.
+        let reg_ops = inst.reg_ops();
+        for r in reg_ops.reads() {
+            if r != Reg::R0 {
+                obs.on_reg_access(crate::observer::RegAccess {
+                    cycle: this_cycle,
+                    reg: r,
+                    kind: AccessKind::Read,
+                });
+            }
+        }
+
+        macro_rules! trap {
+            ($t:expr) => {{
+                self.cycle = this_cycle;
+                let t = $t;
+                self.state = State::Trapped(t);
+                return StepResult::Trapped(t);
+            }};
+        }
+
+        use Inst::*;
+        match inst {
+            Add { rd, rs1, rs2 } => {
+                let v = self.reg(rs1).wrapping_add(self.reg(rs2));
+                self.write_reg(rd, v);
+            }
+            Sub { rd, rs1, rs2 } => {
+                let v = self.reg(rs1).wrapping_sub(self.reg(rs2));
+                self.write_reg(rd, v);
+            }
+            And { rd, rs1, rs2 } => self.write_reg(rd, self.reg(rs1) & self.reg(rs2)),
+            Or { rd, rs1, rs2 } => self.write_reg(rd, self.reg(rs1) | self.reg(rs2)),
+            Xor { rd, rs1, rs2 } => self.write_reg(rd, self.reg(rs1) ^ self.reg(rs2)),
+            Sll { rd, rs1, rs2 } => {
+                self.write_reg(rd, self.reg(rs1) << (self.reg(rs2) & 31));
+            }
+            Srl { rd, rs1, rs2 } => {
+                self.write_reg(rd, self.reg(rs1) >> (self.reg(rs2) & 31));
+            }
+            Sra { rd, rs1, rs2 } => {
+                self.write_reg(rd, ((self.reg(rs1) as i32) >> (self.reg(rs2) & 31)) as u32);
+            }
+            Slt { rd, rs1, rs2 } => {
+                self.write_reg(rd, ((self.reg(rs1) as i32) < (self.reg(rs2) as i32)) as u32);
+            }
+            Sltu { rd, rs1, rs2 } => {
+                self.write_reg(rd, (self.reg(rs1) < self.reg(rs2)) as u32);
+            }
+            Mul { rd, rs1, rs2 } => {
+                self.write_reg(rd, self.reg(rs1).wrapping_mul(self.reg(rs2)));
+            }
+            Addi { rd, rs1, imm } => {
+                self.write_reg(rd, self.reg(rs1).wrapping_add(imm as i32 as u32));
+            }
+            Andi { rd, rs1, imm } => self.write_reg(rd, self.reg(rs1) & (imm as u16 as u32)),
+            Ori { rd, rs1, imm } => self.write_reg(rd, self.reg(rs1) | (imm as u16 as u32)),
+            Xori { rd, rs1, imm } => self.write_reg(rd, self.reg(rs1) ^ (imm as u16 as u32)),
+            Slti { rd, rs1, imm } => {
+                self.write_reg(rd, ((self.reg(rs1) as i32) < (imm as i32)) as u32);
+            }
+            Slli { rd, rs1, shamt } => self.write_reg(rd, self.reg(rs1) << (shamt & 31)),
+            Srli { rd, rs1, shamt } => self.write_reg(rd, self.reg(rs1) >> (shamt & 31)),
+            Srai { rd, rs1, shamt } => {
+                self.write_reg(rd, ((self.reg(rs1) as i32) >> (shamt & 31)) as u32);
+            }
+            Lui { rd, imm } => self.write_reg(rd, (imm as u32) << 16),
+            Load {
+                rd,
+                base,
+                offset,
+                width,
+                signed,
+            } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                if addr >= MMIO_BASE {
+                    match addr {
+                        MMIO_CYCLE => self.write_reg(rd, this_cycle as u32 - 1),
+                        MMIO_INPUT => self.write_reg(rd, self.input_latch),
+                        _ => trap!(Trap::MmioRead { addr }),
+                    }
+                } else {
+                    let raw = match self.ram.read(addr, width) {
+                        Ok(v) => v,
+                        Err(t) => trap!(t),
+                    };
+                    obs.on_access(MemAccess {
+                        cycle: this_cycle,
+                        addr,
+                        width,
+                        kind: AccessKind::Read,
+                    });
+                    let v = if signed {
+                        match width {
+                            MemWidth::Byte => raw as u8 as i8 as i32 as u32,
+                            MemWidth::Half => raw as u16 as i16 as i32 as u32,
+                            MemWidth::Word => raw,
+                        }
+                    } else {
+                        raw
+                    };
+                    self.write_reg(rd, v);
+                }
+            }
+            Store {
+                rs,
+                base,
+                offset,
+                width,
+            } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                let value = self.reg(rs);
+                if addr >= MMIO_BASE {
+                    match addr {
+                        MMIO_SERIAL => {
+                            if self.serial.len() >= self.config.serial_limit {
+                                trap!(Trap::SerialOverflow);
+                            }
+                            self.serial.push(value as u8);
+                        }
+                        MMIO_DETECT => self.detect_count += 1,
+                        _ => trap!(Trap::OutOfRange { addr }),
+                    }
+                } else {
+                    if let Err(t) = self.ram.write(addr, width, value) {
+                        trap!(t);
+                    }
+                    obs.on_access(MemAccess {
+                        cycle: this_cycle,
+                        addr,
+                        width,
+                        kind: AccessKind::Write,
+                    });
+                }
+            }
+            Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let taken = match kind {
+                    BranchKind::Eq => a == b,
+                    BranchKind::Ne => a != b,
+                    BranchKind::Lt => (a as i32) < (b as i32),
+                    BranchKind::Ge => (a as i32) >= (b as i32),
+                    BranchKind::Ltu => a < b,
+                    BranchKind::Geu => a >= b,
+                };
+                if taken {
+                    let t = (self.pc as i64) + 1 + (offset as i64);
+                    if t < 0 || t > self.rom.len() as i64 {
+                        trap!(Trap::BadJump {
+                            target: t.clamp(0, u32::MAX as i64) as u32
+                        });
+                    }
+                    next_pc = t as u32;
+                }
+            }
+            Jal { rd, target } => {
+                if target > self.rom.len() as u32 {
+                    trap!(Trap::BadJump { target });
+                }
+                self.write_reg(rd, self.pc + 1);
+                next_pc = target;
+            }
+            Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as i32 as u32);
+                if target > self.rom.len() as u32 {
+                    trap!(Trap::BadJump { target });
+                }
+                self.write_reg(rd, self.pc + 1);
+                next_pc = target;
+            }
+            Halt { code } => {
+                self.cycle = this_cycle;
+                self.state = State::Halted { code };
+                return StepResult::Halted { code };
+            }
+        }
+        if let Some(rd) = reg_ops.write {
+            if rd != Reg::R0 {
+                obs.on_reg_access(crate::observer::RegAccess {
+                    cycle: this_cycle,
+                    reg: rd,
+                    kind: AccessKind::Write,
+                });
+            }
+        }
+        self.pc = next_pc;
+        self.cycle = this_cycle;
+        StepResult::Running
+    }
+
+    /// Runs until the machine stops or `cycle_limit` cycles have executed.
+    pub fn run(&mut self, cycle_limit: u64) -> RunStatus {
+        self.run_observed(cycle_limit, &mut NullObserver)
+    }
+
+    /// Runs with a [`MemObserver`] attached (golden-run tracing).
+    pub fn run_observed<O: MemObserver>(&mut self, cycle_limit: u64, obs: &mut O) -> RunStatus {
+        loop {
+            if self.cycle >= cycle_limit {
+                return RunStatus::CycleLimit;
+            }
+            match self.step_observed(obs) {
+                StepResult::Running => {}
+                StepResult::Halted { code } => return RunStatus::Halted { code },
+                StepResult::Trapped(t) => return RunStatus::Trapped(t),
+            }
+        }
+    }
+
+    /// Advances the machine until exactly `cycle` instructions have
+    /// executed (used to pause before an injection). Returns the status if
+    /// the program stopped earlier.
+    pub fn run_to(&mut self, cycle: u64) -> Option<RunStatus> {
+        while self.cycle < cycle {
+            match self.step() {
+                StepResult::Running => {}
+                StepResult::Halted { code } => return Some(RunStatus::Halted { code }),
+                StepResult::Trapped(t) => return Some(RunStatus::Trapped(t)),
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofi_isa::Asm;
+
+    fn run_program(f: impl FnOnce(&mut Asm)) -> Machine {
+        let mut a = Asm::new();
+        f(&mut a);
+        let p = a.build().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(100_000);
+        m
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let m = run_program(|a| {
+            a.li(Reg::R1, 7);
+            a.li(Reg::R2, -3);
+            a.add(Reg::R3, Reg::R1, Reg::R2);
+            a.sub(Reg::R4, Reg::R1, Reg::R2);
+            a.mul(Reg::R5, Reg::R1, Reg::R2);
+        });
+        assert_eq!(m.reg(Reg::R3), 4);
+        assert_eq!(m.reg(Reg::R4), 10);
+        assert_eq!(m.reg(Reg::R5) as i32, -21);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let m = run_program(|a| {
+            a.li(Reg::R0, 42);
+            a.add(Reg::R1, Reg::R0, Reg::R0);
+        });
+        assert_eq!(m.reg(Reg::R0), 0);
+        assert_eq!(m.reg(Reg::R1), 0);
+    }
+
+    #[test]
+    fn shifts_and_compares() {
+        let m = run_program(|a| {
+            a.li(Reg::R1, -8);
+            a.srai(Reg::R2, Reg::R1, 1); // -4
+            a.srli(Reg::R3, Reg::R1, 28); // 0xF
+            a.slli(Reg::R4, Reg::R1, 1); // -16
+            a.slt(Reg::R5, Reg::R1, Reg::R0); // -8 < 0 → 1
+            a.sltu(Reg::R6, Reg::R1, Reg::R0); // big unsigned < 0 → 0
+        });
+        assert_eq!(m.reg(Reg::R2) as i32, -4);
+        assert_eq!(m.reg(Reg::R3), 0xF);
+        assert_eq!(m.reg(Reg::R4) as i32, -16);
+        assert_eq!(m.reg(Reg::R5), 1);
+        assert_eq!(m.reg(Reg::R6), 0);
+    }
+
+    #[test]
+    fn zero_extended_logical_immediates() {
+        let m = run_program(|a| {
+            a.lui(Reg::R1, 0xFFFF);
+            a.ori(Reg::R1, Reg::R1, -1); // zext(0xFFFF)
+            a.andi(Reg::R2, Reg::R1, -1); // 0x0000FFFF
+            a.xori(Reg::R3, Reg::R1, -1); // flips low 16 bits
+        });
+        assert_eq!(m.reg(Reg::R1), 0xFFFF_FFFF);
+        assert_eq!(m.reg(Reg::R2), 0x0000_FFFF);
+        assert_eq!(m.reg(Reg::R3), 0xFFFF_0000);
+    }
+
+    #[test]
+    fn memory_round_trip_and_sign_extension() {
+        let m = run_program(|a| {
+            a.data_space("buf", 8);
+            a.li(Reg::R1, -1);
+            a.sb(Reg::R1, Reg::R0, 0);
+            a.lb(Reg::R2, Reg::R0, 0); // -1 sign-extended
+            a.lbu(Reg::R3, Reg::R0, 0); // 255
+            a.li(Reg::R4, -2);
+            a.sh(Reg::R4, Reg::R0, 2);
+            a.lh(Reg::R5, Reg::R0, 2); // -2
+            a.lhu(Reg::R6, Reg::R0, 2); // 0xFFFE
+        });
+        assert_eq!(m.reg(Reg::R2) as i32, -1);
+        assert_eq!(m.reg(Reg::R3), 255);
+        assert_eq!(m.reg(Reg::R5) as i32, -2);
+        assert_eq!(m.reg(Reg::R6), 0xFFFE);
+    }
+
+    #[test]
+    fn serial_and_detect_mmio() {
+        let m = run_program(|a| {
+            a.li(Reg::R1, b'A' as i32);
+            a.serial_out(Reg::R1);
+            a.detect_signal(Reg::R1);
+            a.detect_signal(Reg::R1);
+        });
+        assert_eq!(m.serial(), b"A");
+        assert_eq!(m.detect_count(), 2);
+    }
+
+    #[test]
+    fn cycle_counter_mmio() {
+        let m = run_program(|a| {
+            a.nop();
+            a.nop();
+            a.read_cycle(Reg::R1); // executes in cycle 3, reads 2 completed
+        });
+        assert_eq!(m.reg(Reg::R1), 2);
+    }
+
+    #[test]
+    fn run_to_completion_counts_cycles() {
+        let mut a = Asm::new();
+        a.nop();
+        a.nop();
+        a.nop();
+        let p = a.build().unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(m.run(100), RunStatus::Halted { code: 0 });
+        assert_eq!(m.cycle(), 3);
+    }
+
+    #[test]
+    fn explicit_halt_code() {
+        let m = run_program(|a| {
+            a.halt(7);
+        });
+        assert_eq!(m.status(), Some(RunStatus::Halted { code: 7 }));
+        assert_eq!(m.cycle(), 1); // halt consumes its cycle
+    }
+
+    #[test]
+    fn loops_execute() {
+        let m = run_program(|a| {
+            a.li(Reg::R1, 5);
+            a.li(Reg::R2, 0);
+            let top = a.label_here();
+            a.add(Reg::R2, Reg::R2, Reg::R1);
+            a.addi(Reg::R1, Reg::R1, -1);
+            a.bne(Reg::R1, Reg::R0, top);
+        });
+        assert_eq!(m.reg(Reg::R2), 15);
+        assert_eq!(m.cycle(), 2 + 5 * 3);
+    }
+
+    #[test]
+    fn cycle_limit_reported() {
+        let mut a = Asm::new();
+        let top = a.label_here();
+        a.j(top);
+        let p = a.build().unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(m.run(50), RunStatus::CycleLimit);
+        assert_eq!(m.cycle(), 50);
+        assert_eq!(m.status(), None); // still runnable
+    }
+
+    #[test]
+    fn traps_on_bad_access() {
+        let m = run_program(|a| {
+            a.data_space("x", 4);
+            a.li(Reg::R1, 100);
+            a.lw(Reg::R2, Reg::R1, 0);
+        });
+        assert_eq!(
+            m.status(),
+            Some(RunStatus::Trapped(Trap::OutOfRange { addr: 100 }))
+        );
+    }
+
+    #[test]
+    fn traps_on_misaligned() {
+        let m = run_program(|a| {
+            a.data_space("x", 8);
+            a.li(Reg::R1, 1);
+            a.lw(Reg::R2, Reg::R1, 0);
+        });
+        assert!(matches!(
+            m.status(),
+            Some(RunStatus::Trapped(Trap::Misaligned { addr: 1, .. }))
+        ));
+    }
+
+    #[test]
+    fn traps_on_wild_jump() {
+        let m = run_program(|a| {
+            a.li(Reg::R1, 999);
+            a.jalr(Reg::R0, Reg::R1, 0);
+        });
+        assert_eq!(
+            m.status(),
+            Some(RunStatus::Trapped(Trap::BadJump { target: 999 }))
+        );
+    }
+
+    #[test]
+    fn jump_to_rom_end_is_clean_halt() {
+        let m = run_program(|a| {
+            a.li(Reg::R1, 2); // ROM has 2 instructions; index 2 == len
+            a.jalr(Reg::R0, Reg::R1, 0);
+        });
+        assert_eq!(m.status(), Some(RunStatus::Halted { code: 0 }));
+    }
+
+    #[test]
+    fn mmio_read_of_write_only_register_traps() {
+        let m = run_program(|a| {
+            a.lb(Reg::R1, Reg::R0, -256); // serial is write-only
+        });
+        assert!(matches!(
+            m.status(),
+            Some(RunStatus::Trapped(Trap::MmioRead { .. }))
+        ));
+    }
+
+    #[test]
+    fn serial_overflow_traps() {
+        let mut a = Asm::new();
+        a.li(Reg::R1, b'x' as i32);
+        let top = a.label_here();
+        a.serial_out(Reg::R1);
+        a.j(top);
+        let p = a.build().unwrap();
+        let mut m = Machine::with_config(&p, MachineConfig { serial_limit: 10 });
+        assert_eq!(m.run(1_000), RunStatus::Trapped(Trap::SerialOverflow));
+        assert_eq!(m.serial().len(), 10);
+    }
+
+    #[test]
+    fn determinism_and_clone_independence() {
+        let mut a = Asm::new();
+        let buf = a.data_space("buf", 16);
+        a.li(Reg::R1, 0xAB);
+        a.sb(Reg::R1, Reg::R0, buf.offset());
+        a.lb(Reg::R2, Reg::R0, buf.offset());
+        a.serial_out(Reg::R2);
+        let p = a.build().unwrap();
+
+        let mut m1 = Machine::new(&p);
+        m1.run_to(2);
+        let mut m2 = m1.clone();
+        // Diverge the clone with a fault; the original is untouched.
+        m2.flip_bit(buf.addr() as u64 * 8);
+        let s1 = m1.run(1_000);
+        let s2 = m2.run(1_000);
+        assert_eq!(s1, s2); // both halt cleanly...
+        assert_eq!(m1.serial(), &[0xAB]);
+        assert_eq!(m2.serial(), &[0xAA]); // ...but the fault corrupted output
+    }
+
+    #[test]
+    fn flip_before_read_is_seen_flip_after_is_not() {
+        // Verifies the cycle convention: a flip applied after run_to(c-1)
+        // is visible to the read in cycle c.
+        let mut a = Asm::new();
+        let x = a.data_bytes("x", &[0x01]);
+        a.nop(); // cycle 1
+        a.lb(Reg::R1, Reg::R0, x.offset()); // cycle 2: the read
+        a.serial_out(Reg::R1); // cycle 3
+        let p = a.build().unwrap();
+
+        // Inject at coordinate cycle=2 (just before the read executes).
+        let mut m = Machine::new(&p);
+        m.run_to(1);
+        m.flip_bit(0);
+        m.run(100);
+        assert_eq!(m.serial(), &[0x00]);
+
+        // Inject at coordinate cycle=3 (after the read): dormant.
+        let mut m = Machine::new(&p);
+        m.run_to(2);
+        m.flip_bit(0);
+        m.run(100);
+        assert_eq!(m.serial(), &[0x01]);
+    }
+
+    #[test]
+    fn repeated_step_after_halt_is_stable() {
+        let mut a = Asm::new();
+        a.halt(3);
+        let p = a.build().unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(m.step(), StepResult::Halted { code: 3 });
+        assert_eq!(m.step(), StepResult::Halted { code: 3 });
+        assert_eq!(m.cycle(), 1);
+    }
+
+    #[test]
+    fn observer_sees_ram_accesses_only() {
+        use crate::observer::RecordingObserver;
+        let mut a = Asm::new();
+        let x = a.data_word("x", 5);
+        a.lw(Reg::R1, Reg::R0, x.offset()); // RAM read
+        a.serial_out(Reg::R1); // MMIO: not reported
+        a.sw(Reg::R1, Reg::R0, x.offset()); // RAM write
+        let p = a.build().unwrap();
+        let mut obs = RecordingObserver::default();
+        let mut m = Machine::new(&p);
+        m.run_observed(100, &mut obs);
+        assert_eq!(obs.accesses.len(), 2);
+        assert_eq!(obs.accesses[0].kind, AccessKind::Read);
+        assert_eq!(obs.accesses[0].cycle, 1);
+        assert_eq!(obs.accesses[1].kind, AccessKind::Write);
+        assert_eq!(obs.accesses[1].cycle, 3);
+    }
+}

@@ -1,0 +1,154 @@
+//! Memory-access observation hooks.
+//!
+//! The def/use pruning of §III-C needs the exact cycle of every RAM read and
+//! write in the golden run. Rather than baking trace collection into the CPU
+//! (and paying for it in the hot campaign loop), the machine's step function
+//! is generic over a [`MemObserver`]; the default [`NullObserver`] compiles
+//! to nothing.
+
+use sofi_isa::{MemWidth, Reg};
+use serde::{Deserialize, Serialize};
+
+/// Direction of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load ("use" in def/use terms).
+    Read,
+    /// A store ("def" in def/use terms).
+    Write,
+}
+
+/// One RAM access in a program run. MMIO accesses are *not* reported: the
+/// device page is outside the fault space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Cycle of the access (1-based: the n-th executed instruction runs in
+    /// cycle n).
+    pub cycle: u64,
+    /// Byte address of the access.
+    pub addr: u32,
+    /// Access width.
+    pub width: MemWidth,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl MemAccess {
+    /// Iterates over the flat bit indices (`addr * 8 + bit`) this access
+    /// touches, lowest first.
+    pub fn bits(&self) -> impl Iterator<Item = u64> {
+        let start = self.addr as u64 * 8;
+        start..start + self.width.bits() as u64
+    }
+}
+
+/// One register-file access in a program run. The zero register is never
+/// reported (it is hard-wired and fault-immune).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegAccess {
+    /// Cycle of the access (1-based).
+    pub cycle: u64,
+    /// The register (never `Reg::R0`).
+    pub reg: Reg,
+    /// Read or write. All register accesses are full-width (32 bit).
+    pub kind: AccessKind,
+}
+
+impl RegAccess {
+    /// Flat register-fault-space bit indices of this access:
+    /// `(reg − 1) · 32 + bit` over `r1..r15` (480 bits total).
+    pub fn bits(&self) -> impl Iterator<Item = u64> {
+        let start = (self.reg.index() as u64 - 1) * 32;
+        start..start + 32
+    }
+}
+
+/// Total size in bits of the register fault-space axis (`r1..r15`).
+pub const REG_FILE_BITS: u64 = 15 * 32;
+
+/// Receives RAM access events during execution.
+pub trait MemObserver {
+    /// Called for every RAM access, in execution order.
+    fn on_access(&mut self, access: MemAccess);
+
+    /// Called for every register-file access, in execution order (reads
+    /// of an instruction before its write). Default: ignored, so
+    /// memory-only observers pay nothing.
+    #[inline(always)]
+    fn on_reg_access(&mut self, _access: RegAccess) {}
+}
+
+/// Observer that discards everything (zero-cost in the campaign hot loop).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl MemObserver for NullObserver {
+    #[inline(always)]
+    fn on_access(&mut self, _access: MemAccess) {}
+}
+
+/// Observer that records every access in order.
+///
+/// # Examples
+///
+/// ```
+/// use sofi_machine::{Machine, RecordingObserver, AccessKind};
+/// use sofi_isa::{Asm, Reg};
+///
+/// let mut a = Asm::new();
+/// let x = a.data_word("x", 7);
+/// a.lw(Reg::R1, Reg::R0, x.offset());
+/// let p = a.build().unwrap();
+///
+/// let mut obs = RecordingObserver::default();
+/// let mut m = Machine::new(&p);
+/// m.run_observed(100, &mut obs);
+/// assert_eq!(obs.accesses.len(), 1);
+/// assert_eq!(obs.accesses[0].kind, AccessKind::Read);
+/// assert_eq!(obs.accesses[0].cycle, 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct RecordingObserver {
+    /// All RAM accesses in execution order.
+    pub accesses: Vec<MemAccess>,
+    /// All register-file accesses in execution order.
+    pub reg_accesses: Vec<RegAccess>,
+}
+
+impl MemObserver for RecordingObserver {
+    fn on_access(&mut self, access: MemAccess) {
+        self.accesses.push(access);
+    }
+
+    fn on_reg_access(&mut self, access: RegAccess) {
+        self.reg_accesses.push(access);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_enumeration() {
+        let a = MemAccess {
+            cycle: 1,
+            addr: 2,
+            width: MemWidth::Half,
+            kind: AccessKind::Read,
+        };
+        assert_eq!(a.bits().collect::<Vec<_>>(), vec![16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31]);
+    }
+
+    #[test]
+    fn byte_bits() {
+        let a = MemAccess {
+            cycle: 1,
+            addr: 1,
+            width: MemWidth::Byte,
+            kind: AccessKind::Write,
+        };
+        let bits: Vec<_> = a.bits().collect();
+        assert_eq!(bits, vec![8, 9, 10, 11, 12, 13, 14, 15]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Byte-addressable main memory with single-bit-flip injection.
+
+use crate::trap::Trap;
+use sofi_isa::MemWidth;
+
+/// Main memory: the only fault-susceptible component in the paper's model.
+///
+/// Addresses run from `0` to `size() - 1`; the fault space's memory extent
+/// is `size() * 8` bits. All multi-byte accesses are little-endian and must
+/// be naturally aligned.
+///
+/// # Examples
+///
+/// ```
+/// use sofi_machine::Ram;
+/// use sofi_isa::MemWidth;
+///
+/// let mut ram = Ram::new(4);
+/// ram.write(0, MemWidth::Word, 0xDEAD_BEEF).unwrap();
+/// ram.flip_bit(0); // flip bit 0 of byte 0
+/// assert_eq!(ram.read(0, MemWidth::Word).unwrap(), 0xDEAD_BEEE);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ram {
+    bytes: Vec<u8>,
+}
+
+impl Ram {
+    /// Creates zero-filled RAM of `size` bytes.
+    pub fn new(size: u32) -> Self {
+        Ram {
+            bytes: vec![0; size as usize],
+        }
+    }
+
+    /// Creates RAM initialized with `image` (zero-padded to `size`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` is longer than `size`.
+    pub fn with_image(size: u32, image: &[u8]) -> Self {
+        assert!(
+            image.len() <= size as usize,
+            "image ({}) larger than RAM ({size})",
+            image.len()
+        );
+        let mut bytes = vec![0; size as usize];
+        bytes[..image.len()].copy_from_slice(image);
+        Ram { bytes }
+    }
+
+    /// RAM size in bytes.
+    #[inline]
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// RAM size in bits (the fault-space memory extent `Δm`).
+    #[inline]
+    pub fn size_bits(&self) -> u64 {
+        self.bytes.len() as u64 * 8
+    }
+
+    /// Raw view of memory contents.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    fn check(&self, addr: u32, width: MemWidth) -> Result<usize, Trap> {
+        let bytes = width.bytes();
+        if !addr.is_multiple_of(bytes) {
+            return Err(Trap::Misaligned { addr, width });
+        }
+        let end = addr as u64 + bytes as u64;
+        if end > self.bytes.len() as u64 {
+            return Err(Trap::OutOfRange { addr });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Reads `width` bytes at `addr` (little-endian, zero-extended to u32).
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::Misaligned`] if `addr` is not naturally aligned,
+    /// [`Trap::OutOfRange`] if the access crosses the end of RAM.
+    pub fn read(&self, addr: u32, width: MemWidth) -> Result<u32, Trap> {
+        let i = self.check(addr, width)?;
+        Ok(match width {
+            MemWidth::Byte => self.bytes[i] as u32,
+            MemWidth::Half => u16::from_le_bytes([self.bytes[i], self.bytes[i + 1]]) as u32,
+            MemWidth::Word => u32::from_le_bytes([
+                self.bytes[i],
+                self.bytes[i + 1],
+                self.bytes[i + 2],
+                self.bytes[i + 3],
+            ]),
+        })
+    }
+
+    /// Writes the low `width` bytes of `value` at `addr` (little-endian).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ram::read`].
+    pub fn write(&mut self, addr: u32, width: MemWidth, value: u32) -> Result<(), Trap> {
+        let i = self.check(addr, width)?;
+        match width {
+            MemWidth::Byte => self.bytes[i] = value as u8,
+            MemWidth::Half => self.bytes[i..i + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            MemWidth::Word => self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes()),
+        }
+        Ok(())
+    }
+
+    /// Flips one bit. `bit` is a flat index: `addr * 8 + bit_in_byte`,
+    /// exactly the memory axis of the fault space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= size_bits()`.
+    #[inline]
+    pub fn flip_bit(&mut self, bit: u64) {
+        assert!(bit < self.size_bits(), "bit {bit} outside RAM");
+        self.bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+    }
+
+    /// Reads a single bit (for diagnostics and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= size_bits()`.
+    #[inline]
+    pub fn bit(&self, bit: u64) -> bool {
+        assert!(bit < self.size_bits(), "bit {bit} outside RAM");
+        self.bytes[(bit / 8) as usize] & (1 << (bit % 8)) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_round_trip() {
+        let mut ram = Ram::new(8);
+        ram.write(4, MemWidth::Word, 0x0102_0304).unwrap();
+        assert_eq!(ram.as_bytes()[4..8], [0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(ram.read(4, MemWidth::Half).unwrap(), 0x0304);
+        assert_eq!(ram.read(6, MemWidth::Half).unwrap(), 0x0102);
+        assert_eq!(ram.read(7, MemWidth::Byte).unwrap(), 0x01);
+    }
+
+    #[test]
+    fn misaligned_rejected() {
+        let mut ram = Ram::new(8);
+        assert_eq!(
+            ram.read(1, MemWidth::Half),
+            Err(Trap::Misaligned {
+                addr: 1,
+                width: MemWidth::Half
+            })
+        );
+        assert_eq!(
+            ram.write(2, MemWidth::Word, 0),
+            Err(Trap::Misaligned {
+                addr: 2,
+                width: MemWidth::Word
+            })
+        );
+        assert!(ram.read(1, MemWidth::Byte).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let ram = Ram::new(4);
+        assert_eq!(
+            ram.read(4, MemWidth::Byte),
+            Err(Trap::OutOfRange { addr: 4 })
+        );
+        assert_eq!(
+            ram.read(2, MemWidth::Word),
+            Err(Trap::Misaligned {
+                addr: 2,
+                width: MemWidth::Word
+            })
+        );
+        // Aligned but crossing the end.
+        let ram = Ram::new(2);
+        assert_eq!(
+            ram.read(0, MemWidth::Word),
+            Err(Trap::OutOfRange { addr: 0 })
+        );
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        let mut ram = Ram::with_image(2, &[0xFF, 0x00]);
+        for bit in 0..16 {
+            let before = ram.as_bytes().to_vec();
+            ram.flip_bit(bit);
+            assert_ne!(ram.as_bytes(), &before[..]);
+            ram.flip_bit(bit);
+            assert_eq!(ram.as_bytes(), &before[..]);
+        }
+    }
+
+    #[test]
+    fn bit_indexing_matches_flip() {
+        let mut ram = Ram::new(2);
+        assert!(!ram.bit(9));
+        ram.flip_bit(9); // byte 1, bit 1
+        assert!(ram.bit(9));
+        assert_eq!(ram.as_bytes(), &[0x00, 0x02]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside RAM")]
+    fn flip_out_of_range_panics() {
+        Ram::new(1).flip_bit(8);
+    }
+
+    #[test]
+    fn image_padding() {
+        let ram = Ram::with_image(4, &[1, 2]);
+        assert_eq!(ram.as_bytes(), &[1, 2, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than RAM")]
+    fn oversized_image_panics() {
+        Ram::with_image(1, &[1, 2]);
+    }
+}

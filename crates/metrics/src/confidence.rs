@@ -1,0 +1,146 @@
+//! Confidence intervals for sampled proportions.
+
+/// Two-sided Wilson score interval for a binomial proportion.
+///
+/// `successes` out of `trials` at the given `confidence` level (e.g.
+/// `0.95`). Returns `(low, high)` bounds on the underlying proportion.
+/// The Wilson interval behaves well for proportions near 0 and 1, which is
+/// the normal regime for failure fractions.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`, `successes > trials`, or `confidence` is not in
+/// `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// let (lo, hi) = sofi_metrics::wilson_interval(375, 1_000, 0.95);
+/// assert!(lo < 0.375 && 0.375 < hi);
+/// assert!(hi - lo < 0.07);
+/// ```
+pub fn wilson_interval(successes: u64, trials: u64, confidence: f64) -> (f64, f64) {
+    assert!(trials > 0, "wilson interval needs at least one trial");
+    assert!(successes <= trials, "successes exceed trials");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    let z = normal_quantile(1.0 - (1.0 - confidence) / 2.0);
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Inverse standard-normal CDF (Acklam's rational approximation,
+/// |ε| < 1.15e-9 — far below sampling noise).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile argument must be in (0, 1)");
+    // Coefficients for the central and tail regions.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantile_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(0.995) - 2.575829).abs() < 1e-5);
+    }
+
+    #[test]
+    fn interval_contains_point_estimate() {
+        let (lo, hi) = wilson_interval(50, 100, 0.95);
+        assert!(lo < 0.5 && 0.5 < hi);
+        let (lo, hi) = wilson_interval(0, 100, 0.95);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.06);
+        let (lo, hi) = wilson_interval(100, 100, 0.95);
+        assert_eq!(hi, 1.0);
+        assert!(lo > 0.94);
+    }
+
+    #[test]
+    fn interval_narrows_with_samples() {
+        let (lo1, hi1) = wilson_interval(10, 100, 0.95);
+        let (lo2, hi2) = wilson_interval(1_000, 10_000, 0.95);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    proptest! {
+        #[test]
+        fn interval_is_ordered_and_bounded(s in 0u64..1_000, extra in 0u64..1_000, c in 0.5f64..0.999) {
+            let n = s + extra + 1;
+            let (lo, hi) = wilson_interval(s, n, c);
+            prop_assert!((0.0..=1.0).contains(&lo));
+            prop_assert!((0.0..=1.0).contains(&hi));
+            prop_assert!(lo <= hi);
+            let p = s as f64 / n as f64;
+            prop_assert!(lo <= p + 1e-12 && p - 1e-12 <= hi);
+        }
+
+        #[test]
+        fn quantile_is_monotonic(a in 0.001f64..0.999, b in 0.001f64..0.999) {
+            if a < b {
+                prop_assert!(normal_quantile(a) <= normal_quantile(b));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        wilson_interval(0, 0, 0.95);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Result accounting and comparison metrics (paper §III-D, §IV, §V).
+//!
+//! This crate turns raw campaign results into numbers — both the *correct*
+//! ones the paper derives and the *defective* ones it warns against, so the
+//! pitfalls can be demonstrated side by side:
+//!
+//! * [`coverage`] — the fault-coverage factor `c = 1 − F/N` (Eq. 2), in
+//!   weighted (Pitfall 1 avoided) and unweighted (Pitfall 1 committed)
+//!   variants. Per §IV the metric is **unsound for comparing programs**
+//!   either way, because its denominator depends on the benchmark's own
+//!   runtime and memory size.
+//! * [`failure`] — absolute failure counts: exact from full scans, and
+//!   extrapolated from samples (`F_ext = w · F_sampled / N_sampled`,
+//!   Pitfall 3 Corollary 2). Proportional to the ground-truth
+//!   `P(Failure)` (Eq. 5/6) and therefore the paper's sound comparison
+//!   metric.
+//! * [`compare`] — the comparison ratio `r = F_hardened / F_baseline`
+//!   (`r < 1` ⇔ the hardened variant improves), plus the deliberately
+//!   wrong coverage-based comparison for demonstrations.
+//! * [`poisson`] — the fault-count model (Eq. 1): DRAM FIT rates, the
+//!   per-bit-per-cycle rate `g`, and Table I.
+//! * [`confidence`] — Wilson score intervals for sampled estimates.
+//! * [`vulnerability`] — AVF/PVF-style per-location vulnerability and the
+//!   MWTF metric from related work (§VII), provided as extensions.
+
+pub mod breakdown;
+pub mod compare;
+pub mod confidence;
+pub mod coverage;
+pub mod failure;
+pub mod poisson;
+pub mod vulnerability;
+
+pub use breakdown::{outcome_breakdown, sampled_breakdown, OutcomeBreakdown};
+pub use compare::{compare_coverage_wrong, compare_failures, Comparison};
+pub use confidence::wilson_interval;
+pub use coverage::{fault_coverage, sampled_coverage, Weighting};
+pub use failure::{exact_failures, extrapolated_failures, FailureEstimate};
+pub use poisson::{table1, PoissonModel, Table1Row, DRAM_FIT_RATES, MEAN_FIT_PER_MBIT};
+pub use vulnerability::{byte_vulnerability, mwtf, VulnerabilityMap};

@@ -1,0 +1,75 @@
+//! Horizontal ASCII bar charts (for the Figure 2 panels).
+
+use std::fmt::Write as _;
+
+/// Renders labelled horizontal bars, scaled so the longest bar spans
+/// `width` characters. Values may be percentages or counts; they are
+/// printed verbatim after the bar.
+///
+/// # Examples
+///
+/// ```
+/// let chart = sofi_report::bar_chart(
+///     &[("baseline".to_string(), 62.5), ("hardened".to_string(), 75.0)],
+///     40,
+/// );
+/// assert!(chart.contains("baseline"));
+/// assert!(chart.lines().count() == 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any value is negative or not finite.
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows
+        .iter()
+        .map(|(_, v)| {
+            assert!(v.is_finite() && *v >= 0.0, "bar values must be finite and non-negative");
+            *v
+        })
+        .fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        let _ = writeln!(
+            out,
+            "{label:<label_w$} |{} {value}",
+            "#".repeat(bar_len),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_to_width() {
+        let chart = bar_chart(
+            &[("a".into(), 50.0), ("b".into(), 100.0), ("c".into(), 0.0)],
+            20,
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines[0].matches('#').count(), 10);
+        assert_eq!(lines[1].matches('#').count(), 20);
+        assert_eq!(lines[2].matches('#').count(), 0);
+    }
+
+    #[test]
+    fn all_zero_draws_empty_bars() {
+        let chart = bar_chart(&[("z".into(), 0.0)], 10);
+        assert!(chart.contains("z |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_value_panics() {
+        bar_chart(&[("bad".into(), -1.0)], 10);
+    }
+}

@@ -1,0 +1,73 @@
+//! JSON export of result data.
+//!
+//! Campaign and sampling results are plain `serde` data structures;
+//! experiment binaries persist them as JSON artifacts so EXPERIMENTS.md
+//! numbers are reproducible and diffable.
+
+use serde::Serialize;
+
+/// Serializes any result structure to pretty-printed JSON.
+///
+/// # Examples
+///
+/// ```
+/// use sofi_space::FaultSpace;
+/// let json = sofi_report::to_json(&FaultSpace::new(8, 16)).unwrap();
+/// assert!(json.contains("\"cycles\": 8"));
+/// ```
+///
+/// # Errors
+///
+/// Returns `serde_json::Error` if the value cannot be serialized (not
+/// possible for the suite's own result types).
+pub fn to_json<T: Serialize>(value: &T) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(value)
+}
+
+/// Serializes to a writer (e.g. a results file).
+///
+/// # Errors
+///
+/// Propagates I/O and serialization failures.
+pub fn write_json<T: Serialize, W: std::io::Write>(
+    value: &T,
+    writer: W,
+) -> Result<(), serde_json::Error> {
+    serde_json::to_writer_pretty(writer, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofi_campaign::{CampaignResult, ExperimentResult, Outcome};
+    use sofi_space::{Experiment, FaultCoord, FaultSpace};
+
+    #[test]
+    fn campaign_result_round_trips() {
+        let r = CampaignResult {
+            benchmark: "t".into(),
+            domain: sofi_campaign::FaultDomain::Memory,
+            space: FaultSpace::new(2, 8),
+            known_benign_weight: 10,
+            golden_cycles: 2,
+            results: vec![ExperimentResult {
+                experiment: Experiment {
+                    id: 0,
+                    coord: FaultCoord { cycle: 1, bit: 3 },
+                    weight: 2,
+                },
+                outcome: Outcome::SilentDataCorruption,
+            }],
+        };
+        let json = to_json(&r).unwrap();
+        let back: CampaignResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn writer_variant_works() {
+        let mut buf = Vec::new();
+        write_json(&FaultSpace::new(1, 1), &mut buf).unwrap();
+        assert!(!buf.is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Fault-space geometry.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One fault-space coordinate: "flip memory bit `bit` at the beginning of
+/// cycle `cycle`" (the instruction executing in that cycle already sees the
+/// flipped value).
+///
+/// Cycles are 1-based (`1..=Δt`), bits are 0-based (`0..Δm`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FaultCoord {
+    /// Injection cycle, `1..=Δt`.
+    pub cycle: u64,
+    /// Flat memory bit index, `addr * 8 + bit_in_byte`, in `0..Δm`.
+    pub bit: u64,
+}
+
+impl fmt::Display for FaultCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(cycle {}, bit {})", self.cycle, self.bit)
+    }
+}
+
+/// The fault-space extent of one benchmark run: `Δt` cycles × `Δm` bits.
+///
+/// # Examples
+///
+/// ```
+/// use sofi_space::{FaultSpace, FaultCoord};
+/// let space = FaultSpace::new(12, 9); // Figure 1a of the paper
+/// assert_eq!(space.size(), 108);
+/// let c = FaultCoord { cycle: 3, bit: 4 };
+/// assert_eq!(space.coord_of_index(space.index_of(c)), c);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultSpace {
+    /// Benchmark runtime in cycles (`Δt`).
+    pub cycles: u64,
+    /// RAM size in bits (`Δm`).
+    pub bits: u64,
+}
+
+impl FaultSpace {
+    /// Creates a fault space of `cycles × bits` coordinates.
+    pub fn new(cycles: u64, bits: u64) -> FaultSpace {
+        FaultSpace { cycles, bits }
+    }
+
+    /// Total coordinate count `w = Δt · Δm`.
+    pub fn size(&self) -> u64 {
+        self.cycles * self.bits
+    }
+
+    /// `true` if `coord` lies inside the space.
+    pub fn contains(&self, coord: FaultCoord) -> bool {
+        (1..=self.cycles).contains(&coord.cycle) && coord.bit < self.bits
+    }
+
+    /// Linearizes a coordinate into `0..size()` (bit-major within a cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the space.
+    pub fn index_of(&self, coord: FaultCoord) -> u64 {
+        assert!(self.contains(coord), "{coord} outside {self:?}");
+        (coord.cycle - 1) * self.bits + coord.bit
+    }
+
+    /// Inverse of [`FaultSpace::index_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= size()`.
+    pub fn coord_of_index(&self, index: u64) -> FaultCoord {
+        assert!(index < self.size(), "index {index} outside fault space");
+        FaultCoord {
+            cycle: index / self.bits + 1,
+            bit: index % self.bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn size_and_contains() {
+        let s = FaultSpace::new(8, 16); // the "Hi" benchmark, Figure 3a
+        assert_eq!(s.size(), 128);
+        assert!(s.contains(FaultCoord { cycle: 1, bit: 0 }));
+        assert!(s.contains(FaultCoord { cycle: 8, bit: 15 }));
+        assert!(!s.contains(FaultCoord { cycle: 0, bit: 0 }));
+        assert!(!s.contains(FaultCoord { cycle: 9, bit: 0 }));
+        assert!(!s.contains(FaultCoord { cycle: 1, bit: 16 }));
+    }
+
+    proptest! {
+        #[test]
+        fn linearization_round_trips(cycles in 1u64..100, bits in 1u64..100, idx_frac in 0.0f64..1.0) {
+            let space = FaultSpace::new(cycles, bits);
+            let index = ((space.size() - 1) as f64 * idx_frac) as u64;
+            let coord = space.coord_of_index(index);
+            prop_assert!(space.contains(coord));
+            prop_assert_eq!(space.index_of(coord), index);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside fault space")]
+    fn index_bound_checked() {
+        FaultSpace::new(2, 2).coord_of_index(4);
+    }
+}

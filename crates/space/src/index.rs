@@ -1,0 +1,161 @@
+//! Coordinate → equivalence-class lookup.
+
+use crate::coord::FaultCoord;
+use crate::defuse::{ClassKind, DefUseAnalysis};
+use crate::plan::InjectionPlan;
+use std::collections::HashMap;
+
+/// What a fault-space coordinate resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassRef {
+    /// The coordinate belongs to the experiment class with this plan id.
+    Experiment(u32),
+    /// The coordinate is known benign (overwritten or never read).
+    KnownBenign,
+}
+
+/// Maps raw fault-space coordinates to their def/use class.
+///
+/// This is the piece that makes *correct sampling* (§III-E) cheap: samples
+/// are drawn uniformly from the raw space, and coordinates falling into the
+/// same class share a single conducted experiment while still each counting
+/// in the estimate.
+///
+/// # Examples
+///
+/// ```
+/// use sofi_isa::{Asm, Reg};
+/// use sofi_trace::GoldenRun;
+/// use sofi_space::{ClassIndex, ClassRef, DefUseAnalysis, FaultCoord};
+///
+/// let mut a = Asm::new();
+/// let x = a.data_bytes("x", &[1]);
+/// a.nop();
+/// a.lb(Reg::R1, Reg::R0, x.offset()); // read in cycle 2
+/// a.nop();
+/// let golden = GoldenRun::capture(&a.build()?, 100)?;
+/// let analysis = DefUseAnalysis::from_golden(&golden);
+/// let plan = analysis.plan();
+/// let index = ClassIndex::new(&analysis, &plan);
+///
+/// // Cycle 1 and 2 of bit 0 share the experiment; cycle 3 is benign.
+/// let e = index.lookup(FaultCoord { cycle: 1, bit: 0 });
+/// assert_eq!(e, index.lookup(FaultCoord { cycle: 2, bit: 0 }));
+/// assert!(matches!(e, ClassRef::Experiment(_)));
+/// assert_eq!(index.lookup(FaultCoord { cycle: 3, bit: 0 }), ClassRef::KnownBenign);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassIndex {
+    /// Per bit: class interval ends (`last_cycle`) in ascending order with
+    /// the class they resolve to.
+    per_bit: Vec<Vec<(u64, ClassRef)>>,
+}
+
+impl ClassIndex {
+    /// Builds the index. `plan` must come from the same `analysis` (its
+    /// experiment ids are the lookup results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` was built from a different analysis (an experiment
+    /// class has no matching plan entry).
+    pub fn new(analysis: &DefUseAnalysis, plan: &InjectionPlan) -> ClassIndex {
+        let mut id_by_coord: HashMap<(u64, u64), u32> = HashMap::with_capacity(plan.experiments.len());
+        for e in &plan.experiments {
+            id_by_coord.insert((e.coord.bit, e.coord.cycle), e.id);
+        }
+        let mut per_bit: Vec<Vec<(u64, ClassRef)>> =
+            vec![Vec::new(); analysis.space.bits as usize];
+        for class in &analysis.classes {
+            let r = match class.kind {
+                ClassKind::Experiment => {
+                    let id = id_by_coord
+                        .get(&(class.bit, class.last_cycle))
+                        .copied()
+                        .expect("plan built from a different analysis");
+                    ClassRef::Experiment(id)
+                }
+                ClassKind::KnownBenign => ClassRef::KnownBenign,
+            };
+            per_bit[class.bit as usize].push((class.last_cycle, r));
+        }
+        for v in &mut per_bit {
+            v.sort_by_key(|&(end, _)| end);
+        }
+        ClassIndex { per_bit }
+    }
+
+    /// Resolves a coordinate to its class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate lies outside the indexed fault space.
+    pub fn lookup(&self, coord: FaultCoord) -> ClassRef {
+        let column = &self.per_bit[coord.bit as usize];
+        // First class whose interval end covers the cycle.
+        let pos = column.partition_point(|&(end, _)| end < coord.cycle);
+        assert!(
+            pos < column.len(),
+            "cycle {} beyond last class of bit {}",
+            coord.cycle,
+            coord.bit
+        );
+        column[pos].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::FaultSpace;
+    use sofi_isa::{Asm, Reg};
+    use sofi_trace::GoldenRun;
+
+    fn setup(f: impl FnOnce(&mut Asm)) -> (DefUseAnalysis, InjectionPlan, ClassIndex) {
+        let mut a = Asm::new();
+        f(&mut a);
+        let g = GoldenRun::capture(&a.build().unwrap(), 100_000).unwrap();
+        let analysis = DefUseAnalysis::from_golden(&g);
+        let plan = analysis.plan();
+        let index = ClassIndex::new(&analysis, &plan);
+        (analysis, plan, index)
+    }
+
+    #[test]
+    fn every_coordinate_resolves_consistently() {
+        let (analysis, plan, index) = setup(|a| {
+            let x = a.data_space("x", 2);
+            a.li(Reg::R1, 7);
+            a.sb(Reg::R1, Reg::R0, x.offset());
+            a.lb(Reg::R2, Reg::R0, x.offset());
+            a.sb(Reg::R2, Reg::R0, x.at(1).offset());
+            a.lb(Reg::R3, Reg::R0, x.at(1).offset());
+        });
+        // Exhaustively check: summed per-class hits reproduce class weights.
+        let mut hits: HashMap<ClassRef, u64> = HashMap::new();
+        let FaultSpace { cycles, bits } = analysis.space;
+        for cycle in 1..=cycles {
+            for bit in 0..bits {
+                *hits.entry(index.lookup(FaultCoord { cycle, bit })).or_default() += 1;
+            }
+        }
+        for e in &plan.experiments {
+            assert_eq!(hits[&ClassRef::Experiment(e.id)], e.weight);
+        }
+        assert_eq!(
+            hits.get(&ClassRef::KnownBenign).copied().unwrap_or(0),
+            plan.known_benign_weight
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond last class")]
+    fn out_of_space_lookup_panics() {
+        let (_, _, index) = setup(|a| {
+            let x = a.data_bytes("x", &[1]);
+            a.lb(Reg::R1, Reg::R0, x.offset());
+        });
+        index.lookup(FaultCoord { cycle: 2, bit: 0 });
+    }
+}

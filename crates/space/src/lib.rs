@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! Fault-space model, def/use pruning and sampling (paper §III).
+//!
+//! The fault space of a run-to-completion benchmark is the discrete grid
+//! `CPU cycles × memory bits` (Figure 1a of the paper): every coordinate
+//! `(c, b)` is one possible experiment "flip bit `b` at the start of cycle
+//! `c`". This crate provides:
+//!
+//! * [`FaultSpace`]/[`FaultCoord`] — the grid and its linearization,
+//! * [`DefUseAnalysis`] — the classic def/use equivalence-class analysis
+//!   (§III-C, Figure 1b): coordinates between an access and a following
+//!   *read* share one experiment; coordinates whose next access is a
+//!   *write* (or that are never read again) are known-benign without any
+//!   experiment,
+//! * [`InjectionPlan`] — the pruned experiment list with per-class weights
+//!   (the data-lifetime lengths that Pitfall 1 requires for result
+//!   accounting),
+//! * [`ClassIndex`] — coordinate → class lookup, and
+//! * [`sample`] — correct (raw fault-space) and deliberately biased
+//!   (per-class, Pitfall 2) samplers.
+//!
+//! # Examples
+//!
+//! ```
+//! use sofi_isa::{Asm, Reg};
+//! use sofi_trace::GoldenRun;
+//! use sofi_space::DefUseAnalysis;
+//!
+//! // store (cycle 2) ... load (cycle 4): one 8-bit-wide vulnerable window.
+//! let mut a = Asm::new();
+//! let x = a.data_space("x", 1);
+//! a.li(Reg::R1, 42);
+//! a.sb(Reg::R1, Reg::R0, x.offset());
+//! a.nop();
+//! a.lb(Reg::R2, Reg::R0, x.offset());
+//! let golden = GoldenRun::capture(&a.build()?, 1_000)?;
+//!
+//! let analysis = DefUseAnalysis::from_golden(&golden);
+//! let plan = analysis.plan();
+//! assert_eq!(plan.experiments.len(), 8);           // one per bit
+//! assert_eq!(plan.experiments[0].weight, 2);        // cycles 3 and 4
+//! assert_eq!(plan.total_weight(), golden.fault_space_size());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod coord;
+mod defuse;
+mod index;
+mod plan;
+pub mod sample;
+
+pub use coord::{FaultCoord, FaultSpace};
+pub use defuse::{ClassKind, DefUseAnalysis, EquivClass, LifetimeStats};
+pub use index::{ClassIndex, ClassRef};
+pub use plan::{Experiment, InjectionPlan};

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Golden-run capture and memory-access trace digestion.
+//!
+//! Every fault-injection campaign starts from a *golden run*: one
+//! fault-free, deterministic execution of the benchmark that records
+//!
+//! 1. the reference serial output and exit status (used to classify each
+//!    experiment's outcome),
+//! 2. the benchmark's runtime `Δt` in cycles and RAM extent `Δm` in bits
+//!    (spanning the fault space of §III-A), and
+//! 3. the full memory-access trace, digested into per-bit event timelines —
+//!    the input to def/use equivalence-class analysis (§III-C).
+//!
+//! # Examples
+//!
+//! ```
+//! use sofi_isa::{Asm, Reg};
+//! use sofi_trace::GoldenRun;
+//!
+//! let mut a = Asm::new();
+//! let x = a.data_bytes("x", &[7]);
+//! a.lb(Reg::R1, Reg::R0, x.offset());
+//! a.serial_out(Reg::R1);
+//! let p = a.build()?;
+//!
+//! let golden = GoldenRun::capture(&p, 10_000)?;
+//! assert_eq!(golden.cycles, 2);
+//! assert_eq!(golden.serial, vec![7]);
+//! assert_eq!(golden.fault_space_size(), 2 * 8); // 2 cycles × 8 bits
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod golden;
+mod stats;
+mod timeline;
+
+pub use golden::{GoldenError, GoldenRun};
+pub use stats::TraceStats;
+pub use timeline::{BitEvent, Timelines};

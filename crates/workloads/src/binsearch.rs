@@ -1,0 +1,88 @@
+//! Binary search over a sorted table, repeated for several keys.
+//!
+//! Control-flow heavy with a long-lived read-only table — corrupted table
+//! entries break the search invariant and typically cause *wrong results
+//! without any crash*, making this a high-SDC benchmark.
+
+use sofi_isa::{Asm, Program, Reg};
+
+/// The sorted table searched.
+pub const TABLE: [u8; 16] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53];
+/// The probe keys (present and absent).
+pub const KEYS: [u8; 6] = [2, 19, 53, 4, 30, 47];
+
+/// Reference: index of `key` in `TABLE` or `0xFF`.
+pub fn binsearch_reference(key: u8) -> u8 {
+    TABLE
+        .binary_search(&key)
+        .map(|i| i as u8)
+        .unwrap_or(0xFF)
+}
+
+/// Builds the benchmark: for each key in `KEYS`, binary-search the
+/// table and emit the found index (or `0xFF`).
+///
+/// Register use: `r4` = key index, `r5` = key, `r6` = lo, `r7` = hi
+/// (exclusive), `r8` = mid, `r9` = table value, `r10` = result.
+pub fn binsearch() -> Program {
+    let mut a = Asm::with_name("binsearch");
+    let table = a.data_bytes("table", &TABLE);
+    let keys = a.data_bytes("keys", &KEYS);
+
+    a.li(Reg::R4, 0);
+    let per_key = a.label_here();
+    a.addi(Reg::R2, Reg::R4, keys.offset());
+    a.lbu(Reg::R5, Reg::R2, 0);
+
+    a.li(Reg::R6, 0); // lo
+    a.li(Reg::R7, TABLE.len() as i32); // hi (exclusive)
+    a.li(Reg::R10, 0xFF); // result = not found
+    let search = a.label_here();
+    let finish = a.new_label();
+    let go_right = a.new_label();
+    let found = a.new_label();
+    a.bge(Reg::R6, Reg::R7, finish);
+    // mid = (lo + hi) / 2
+    a.add(Reg::R8, Reg::R6, Reg::R7);
+    a.srli(Reg::R8, Reg::R8, 1);
+    a.addi(Reg::R2, Reg::R8, table.offset());
+    a.lbu(Reg::R9, Reg::R2, 0);
+    a.beq(Reg::R9, Reg::R5, found);
+    a.bltu(Reg::R9, Reg::R5, go_right);
+    a.mv(Reg::R7, Reg::R8); // hi = mid
+    a.j(search);
+    a.bind(go_right);
+    a.addi(Reg::R6, Reg::R8, 1); // lo = mid + 1
+    a.j(search);
+    a.bind(found);
+    a.mv(Reg::R10, Reg::R8);
+    a.bind(finish);
+    a.serial_out(Reg::R10);
+
+    a.addi(Reg::R4, Reg::R4, 1);
+    a.li(Reg::R2, KEYS.len() as i32);
+    a.bne(Reg::R4, Reg::R2, per_key);
+    a.halt(0);
+    a.build().expect("binsearch is statically correct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofi_machine::{Machine, RunStatus};
+
+    #[test]
+    fn finds_every_key() {
+        let mut m = Machine::new(&binsearch());
+        assert_eq!(m.run(100_000), RunStatus::Halted { code: 0 });
+        let expected: Vec<u8> = KEYS.iter().map(|&k| binsearch_reference(k)).collect();
+        assert_eq!(m.serial(), expected);
+    }
+
+    #[test]
+    fn reference_sanity() {
+        assert_eq!(binsearch_reference(2), 0);
+        assert_eq!(binsearch_reference(53), 15);
+        assert_eq!(binsearch_reference(4), 0xFF);
+    }
+}

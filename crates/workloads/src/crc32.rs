@@ -1,0 +1,82 @@
+//! CRC-32 (IEEE, bitwise) over an in-RAM message.
+
+use sofi_isa::{Asm, Program, Reg};
+
+/// The message whose checksum is computed.
+pub const MESSAGE: &[u8] = b"soft errors!";
+
+/// Reference CRC-32 (reflected, poly `0xEDB88320`), used by tests.
+pub fn crc32_reference(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Builds the CRC-32 benchmark: computes the checksum of `MESSAGE`
+/// bit-by-bit and emits the four little-endian CRC bytes.
+///
+/// Register use: `r4` = crc, `r5` = byte index, `r6` = bit counter,
+/// `r7` = scratch, `r8` = polynomial, `r9` = message length.
+pub fn crc32() -> Program {
+    let mut a = Asm::with_name("crc32");
+    let msg = a.data_bytes("msg", MESSAGE);
+    let len = a.data_word("len", MESSAGE.len() as u32);
+
+    a.li(Reg::R4, -1); // crc = 0xFFFFFFFF
+    a.li(Reg::R8, 0xEDB8_8320u32 as i32);
+    a.lw(Reg::R9, Reg::R0, len.offset());
+    a.li(Reg::R5, 0);
+
+    let per_byte = a.label_here();
+    a.addi(Reg::R2, Reg::R5, msg.offset());
+    a.lbu(Reg::R7, Reg::R2, 0);
+    a.xor(Reg::R4, Reg::R4, Reg::R7);
+    a.li(Reg::R6, 8);
+    let per_bit = a.label_here();
+    // mask = -(crc & 1); crc = (crc >> 1) ^ (poly & mask)
+    a.andi(Reg::R7, Reg::R4, 1);
+    a.sub(Reg::R7, Reg::R0, Reg::R7);
+    a.and(Reg::R7, Reg::R7, Reg::R8);
+    a.srli(Reg::R4, Reg::R4, 1);
+    a.xor(Reg::R4, Reg::R4, Reg::R7);
+    a.addi(Reg::R6, Reg::R6, -1);
+    a.bne(Reg::R6, Reg::R0, per_bit);
+    a.addi(Reg::R5, Reg::R5, 1);
+    a.bne(Reg::R5, Reg::R9, per_byte);
+
+    // crc = !crc; emit 4 bytes little-endian.
+    a.li(Reg::R7, -1);
+    a.xor(Reg::R4, Reg::R4, Reg::R7);
+    for _ in 0..4 {
+        a.serial_out(Reg::R4);
+        a.srli(Reg::R4, Reg::R4, 8);
+    }
+    a.halt(0);
+    a.build().expect("crc32 is statically correct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofi_machine::{Machine, RunStatus};
+
+    #[test]
+    fn matches_reference_implementation() {
+        let mut m = Machine::new(&crc32());
+        assert_eq!(m.run(10_000), RunStatus::Halted { code: 0 });
+        let expected = crc32_reference(MESSAGE).to_le_bytes();
+        assert_eq!(m.serial(), expected);
+    }
+
+    #[test]
+    fn reference_known_vector() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32_reference(b"123456789"), 0xCBF4_3926);
+    }
+}

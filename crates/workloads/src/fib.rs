@@ -1,0 +1,109 @@
+//! Iterative Fibonacci with RAM-resident state.
+
+use crate::Variant;
+use sofi_harden::ProtectedWord;
+use sofi_isa::{Asm, Program, Reg};
+
+/// Which Fibonacci number is computed.
+pub const N: u32 = 30;
+
+/// Reference value (`fib(30) = 832_040`), used by tests.
+pub fn fib_reference(n: u32) -> u32 {
+    let (mut a, mut b) = (0u32, 1u32);
+    for _ in 0..n {
+        let t = a.wrapping_add(b);
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Builds the Fibonacci benchmark: the two state words live in RAM (not
+/// registers), are re-read and re-written every iteration, and the result
+/// is emitted as four little-endian bytes.
+///
+/// In the SUM+DMR variant both state words are protected — an example of
+/// a benchmark whose *entire* critical state is covered by the mechanism,
+/// so hardening wins decisively.
+pub fn fib(variant: Variant) -> Program {
+    let name = match variant {
+        Variant::Baseline => "fib",
+        Variant::SumDmr => "fib+sumdmr",
+    };
+    let mut a = Asm::with_name(name);
+
+    enum W {
+        Plain(sofi_isa::DataLabel),
+        Prot(ProtectedWord),
+    }
+    impl W {
+        fn load(&self, a: &mut Asm, dst: Reg) {
+            match self {
+                W::Plain(l) => {
+                    a.lw(dst, Reg::R0, l.offset());
+                }
+                W::Prot(p) => p.emit_load(a, dst, Reg::R1, Reg::R2),
+            }
+        }
+        fn store(&self, a: &mut Asm, src: Reg) {
+            match self {
+                W::Plain(l) => {
+                    a.sw(src, Reg::R0, l.offset());
+                }
+                W::Prot(p) => p.emit_store(a, src, Reg::R1),
+            }
+        }
+    }
+
+    let (wa, wb) = match variant {
+        Variant::Baseline => (
+            W::Plain(a.data_word("fa", 0)),
+            W::Plain(a.data_word("fb", 1)),
+        ),
+        Variant::SumDmr => (
+            W::Prot(ProtectedWord::declare(&mut a, "fa", 0)),
+            W::Prot(ProtectedWord::declare(&mut a, "fb", 1)),
+        ),
+    };
+
+    a.li(Reg::R4, N as i32);
+    let top = a.label_here();
+    wa.load(&mut a, Reg::R5);
+    wb.load(&mut a, Reg::R6);
+    a.add(Reg::R7, Reg::R5, Reg::R6); // t = a + b
+    wa.store(&mut a, Reg::R6); // a = b
+    wb.store(&mut a, Reg::R7); // b = t
+    a.addi(Reg::R4, Reg::R4, -1);
+    a.bne(Reg::R4, Reg::R0, top);
+
+    wa.load(&mut a, Reg::R5);
+    for _ in 0..4 {
+        a.serial_out(Reg::R5);
+        a.srli(Reg::R5, Reg::R5, 8);
+    }
+    a.halt(0);
+    a.build().expect("fib is statically correct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofi_machine::{Machine, RunStatus};
+
+    #[test]
+    fn computes_fib_n() {
+        for v in [Variant::Baseline, Variant::SumDmr] {
+            let mut m = Machine::new(&fib(v));
+            assert_eq!(m.run(100_000), RunStatus::Halted { code: 0 });
+            assert_eq!(m.serial(), fib_reference(N).to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn reference_values() {
+        assert_eq!(fib_reference(0), 0);
+        assert_eq!(fib_reference(1), 1);
+        assert_eq!(fib_reference(10), 55);
+        assert_eq!(fib_reference(30), 832_040);
+    }
+}

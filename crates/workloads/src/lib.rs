@@ -1,0 +1,150 @@
+#![warn(missing_docs)]
+
+//! Benchmark programs for fault-injection evaluation.
+//!
+//! * [`hi`] — the paper's §IV "Hi" micro-benchmark (Figure 3), with the
+//!   DFT/DFT′ dilution variants that expose the Fault-Space Dilution
+//!   Delusion.
+//! * [`bin_sem2`] / [`sync2`] — re-creations of the eCos kernel-test
+//!   workloads of §II-D on the [`kernel`] substrate, each in a baseline
+//!   and a SUM+DMR-hardened variant (Figure 2).
+//! * [`bubble_sort`], [`crc32`], [`matmul`], [`fib`], [`strrev`],
+//!   [`queue`] — additional single-purpose benchmarks broadening the
+//!   suite, some with hardened variants.
+//!
+//! All benchmarks are deterministic run-to-completion programs with
+//! serial output, as the machine and failure model of §II require.
+//!
+//! # Examples
+//!
+//! ```
+//! use sofi_workloads::{hi, Variant};
+//! use sofi_machine::Machine;
+//!
+//! let mut m = Machine::new(&hi());
+//! m.run(100);
+//! assert_eq!(m.serial(), b"Hi");
+//! # let _ = Variant::Baseline;
+//! ```
+
+mod bin_sem2;
+mod binsearch;
+mod crc32;
+mod fib;
+mod hi;
+pub mod kernel;
+mod matmul;
+mod queue;
+mod quicksort;
+mod rle;
+mod sensor;
+mod sort;
+mod strrev;
+mod sync2;
+
+pub use bin_sem2::{bin_sem2, bin_sem2_param, bin_sem2_reference};
+pub use binsearch::{binsearch, binsearch_reference};
+pub use crc32::{crc32, crc32_reference};
+pub use fib::{fib, fib_reference};
+pub use hi::{hi, hi_dft, hi_dft_prime};
+pub use matmul::{matmul, matmul_reference};
+pub use queue::queue;
+pub use quicksort::quicksort;
+pub use rle::rle;
+pub use sensor::{sensor, sensor_events, SCHEDULE as SENSOR_SCHEDULE};
+pub use sort::{bubble_sort, bubble_sort_tmr};
+pub use strrev::strrev;
+pub use sync2::{sync2, sync2_param};
+pub use kernel::KernelProtection;
+
+use sofi_isa::Program;
+
+/// Which build of a benchmark to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Unprotected baseline.
+    Baseline,
+    /// Critical data protected by checksummed duplication
+    /// ([`sofi_harden::ProtectedWord`], the paper's "SUM+DMR").
+    SumDmr,
+}
+
+/// The benchmark pairs evaluated in the paper's Figure 2 plus this repo's
+/// extensions: `(name, baseline, hardened)`.
+pub fn benchmark_pairs() -> Vec<(&'static str, Program, Program)> {
+    vec![
+        (
+            "bin_sem2",
+            bin_sem2(Variant::Baseline),
+            bin_sem2(Variant::SumDmr),
+        ),
+        ("sync2", sync2(Variant::Baseline), sync2(Variant::SumDmr)),
+        ("fib", fib(Variant::Baseline), fib(Variant::SumDmr)),
+        ("bubble_sort", bubble_sort(), bubble_sort_tmr()),
+    ]
+}
+
+/// Every baseline benchmark in the suite (for broad test sweeps).
+pub fn all_baselines() -> Vec<Program> {
+    vec![
+        hi(),
+        bin_sem2(Variant::Baseline),
+        sync2(Variant::Baseline),
+        bubble_sort(),
+        crc32(),
+        matmul(),
+        fib(Variant::Baseline),
+        strrev(),
+        queue(),
+        quicksort(),
+        binsearch(),
+        rle(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofi_machine::{Machine, RunStatus};
+
+    #[test]
+    fn every_baseline_terminates_cleanly() {
+        for p in all_baselines() {
+            let mut m = Machine::new(&p);
+            assert_eq!(
+                m.run(10_000_000),
+                RunStatus::Halted { code: 0 },
+                "benchmark {} did not halt cleanly",
+                p.name
+            );
+            assert!(
+                !m.serial().is_empty(),
+                "benchmark {} produced no output",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn hardened_variants_preserve_output() {
+        for (name, base, hard) in benchmark_pairs() {
+            let mut mb = Machine::new(&base);
+            let mut mh = Machine::new(&hard);
+            assert_eq!(mb.run(10_000_000), RunStatus::Halted { code: 0 });
+            assert_eq!(mh.run(10_000_000), RunStatus::Halted { code: 0 });
+            assert_eq!(
+                mb.serial(),
+                mh.serial(),
+                "hardening changed {name}'s output"
+            );
+            assert!(
+                mh.cycle() > mb.cycle(),
+                "{name}: hardening should cost runtime"
+            );
+            assert!(
+                hard.ram_size > base.ram_size,
+                "{name}: hardening should cost memory"
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! 3×3 byte matrix multiplication.
+
+use sofi_isa::{Asm, Program, Reg};
+
+/// Left operand (row-major).
+pub const MAT_A: [u8; 9] = [1, 2, 3, 4, 5, 6, 7, 8, 9];
+/// Right operand (row-major).
+pub const MAT_B: [u8; 9] = [9, 8, 7, 6, 5, 4, 3, 2, 1];
+
+/// Reference product (mod 256), used by tests.
+pub fn matmul_reference() -> [u8; 9] {
+    let mut c = [0u8; 9];
+    for i in 0..3 {
+        for j in 0..3 {
+            let mut acc = 0u32;
+            for k in 0..3 {
+                acc += MAT_A[i * 3 + k] as u32 * MAT_B[k * 3 + j] as u32;
+            }
+            c[i * 3 + j] = acc as u8;
+        }
+    }
+    c
+}
+
+/// Builds the matmul benchmark: `C = A · B` over the byte matrices above,
+/// with `C` accumulated in RAM and emitted row-major at the end.
+///
+/// Register use: `r4` = i, `r5` = j, `r6` = k, `r7` = acc, `r8`/`r9` =
+/// element scratch, `r10` = address scratch.
+pub fn matmul() -> Program {
+    let mut a = Asm::with_name("matmul");
+    let ma = a.data_bytes("mat_a", &MAT_A);
+    let mb = a.data_bytes("mat_b", &MAT_B);
+    let mc = a.data_space("mat_c", 9);
+
+    a.li(Reg::R4, 0); // i
+    let loop_i = a.label_here();
+    a.li(Reg::R5, 0); // j
+    let loop_j = a.label_here();
+    a.li(Reg::R7, 0); // acc
+    a.li(Reg::R6, 0); // k
+    let loop_k = a.label_here();
+    // r8 = A[i*3+k]
+    a.li(Reg::R10, 3);
+    a.mul(Reg::R10, Reg::R4, Reg::R10);
+    a.add(Reg::R10, Reg::R10, Reg::R6);
+    a.addi(Reg::R10, Reg::R10, ma.offset());
+    a.lbu(Reg::R8, Reg::R10, 0);
+    // r9 = B[k*3+j]
+    a.li(Reg::R10, 3);
+    a.mul(Reg::R10, Reg::R6, Reg::R10);
+    a.add(Reg::R10, Reg::R10, Reg::R5);
+    a.addi(Reg::R10, Reg::R10, mb.offset());
+    a.lbu(Reg::R9, Reg::R10, 0);
+    // acc += r8 * r9
+    a.mul(Reg::R8, Reg::R8, Reg::R9);
+    a.add(Reg::R7, Reg::R7, Reg::R8);
+    a.addi(Reg::R6, Reg::R6, 1);
+    a.li(Reg::R10, 3);
+    a.bne(Reg::R6, Reg::R10, loop_k);
+    // C[i*3+j] = acc
+    a.li(Reg::R10, 3);
+    a.mul(Reg::R10, Reg::R4, Reg::R10);
+    a.add(Reg::R10, Reg::R10, Reg::R5);
+    a.addi(Reg::R10, Reg::R10, mc.offset());
+    a.sb(Reg::R7, Reg::R10, 0);
+    a.addi(Reg::R5, Reg::R5, 1);
+    a.li(Reg::R10, 3);
+    a.bne(Reg::R5, Reg::R10, loop_j);
+    a.addi(Reg::R4, Reg::R4, 1);
+    a.li(Reg::R10, 3);
+    a.bne(Reg::R4, Reg::R10, loop_i);
+
+    // Dump C.
+    a.li(Reg::R4, 0);
+    let dump = a.label_here();
+    a.addi(Reg::R10, Reg::R4, mc.offset());
+    a.lbu(Reg::R7, Reg::R10, 0);
+    a.serial_out(Reg::R7);
+    a.addi(Reg::R4, Reg::R4, 1);
+    a.li(Reg::R10, 9);
+    a.bne(Reg::R4, Reg::R10, dump);
+    a.halt(0);
+    a.build().expect("matmul is statically correct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofi_machine::{Machine, RunStatus};
+
+    #[test]
+    fn matches_reference_product() {
+        let mut m = Machine::new(&matmul());
+        assert_eq!(m.run(100_000), RunStatus::Halted { code: 0 });
+        assert_eq!(m.serial(), matmul_reference());
+    }
+}

@@ -1,0 +1,106 @@
+//! Producer/consumer over an in-RAM ring buffer, on the cooperative
+//! kernel.
+
+use crate::kernel::{Kernel, KernelProtection};
+use sofi_isa::{Asm, Program, Reg};
+
+/// Ring capacity in bytes (power of two).
+const CAP: i32 = 8;
+/// Items produced and consumed.
+const ITEMS: i32 = 12;
+
+/// Builds the queue benchmark: a producer thread pushes `ITEMS` bytes
+/// (`7·i + 1`) through an 8-slot ring buffer; a consumer thread pops them
+/// and emits each on the serial interface. Fill-level polling with
+/// cooperative yields replaces counting semaphores.
+pub fn queue() -> Program {
+    let mut a = Asm::with_name("queue");
+    let ring = a.data_space("ring", CAP as u32);
+    let head = a.data_word("head", 0); // next write index (mod CAP)
+    let tail = a.data_word("tail", 0); // next read index (mod CAP)
+    let count = a.data_word("count", 0); // fill level
+
+    let producer = a.new_named_label("producer");
+    let consumer = a.new_named_label("consumer");
+    let finale = a.new_named_label("finale");
+    let k = Kernel::emit_prologue(&mut a, &[producer, consumer], finale, KernelProtection::None);
+
+    // Producer: r4 = items left, r5 = running value.
+    a.bind(producer);
+    a.li(Reg::R4, ITEMS);
+    a.li(Reg::R5, 1);
+    let p_loop = a.label_here();
+    // Wait for space.
+    let p_wait = a.label_here();
+    a.lw(Reg::R1, Reg::R0, count.offset());
+    a.li(Reg::R2, CAP);
+    let p_go = a.new_label();
+    a.bne(Reg::R1, Reg::R2, p_go);
+    k.emit_yield(&mut a);
+    a.j(p_wait);
+    a.bind(p_go);
+    // ring[head] = r5; head = (head + 1) & (CAP-1); count += 1
+    a.lw(Reg::R1, Reg::R0, head.offset());
+    a.addi(Reg::R2, Reg::R1, ring.offset());
+    a.sb(Reg::R5, Reg::R2, 0);
+    a.addi(Reg::R1, Reg::R1, 1);
+    a.andi(Reg::R1, Reg::R1, (CAP - 1) as i16);
+    a.sw(Reg::R1, Reg::R0, head.offset());
+    a.lw(Reg::R1, Reg::R0, count.offset());
+    a.addi(Reg::R1, Reg::R1, 1);
+    a.sw(Reg::R1, Reg::R0, count.offset());
+    a.addi(Reg::R5, Reg::R5, 7);
+    a.addi(Reg::R4, Reg::R4, -1);
+    a.bne(Reg::R4, Reg::R0, p_loop);
+    k.emit_thread_exit(&mut a);
+
+    // Consumer: r4 = items left.
+    a.bind(consumer);
+    a.li(Reg::R4, ITEMS);
+    let c_loop = a.label_here();
+    let c_wait = a.label_here();
+    a.lw(Reg::R1, Reg::R0, count.offset());
+    let c_go = a.new_label();
+    a.bne(Reg::R1, Reg::R0, c_go);
+    k.emit_yield(&mut a);
+    a.j(c_wait);
+    a.bind(c_go);
+    // r5 = ring[tail]; tail = (tail + 1) & (CAP-1); count -= 1
+    a.lw(Reg::R1, Reg::R0, tail.offset());
+    a.addi(Reg::R2, Reg::R1, ring.offset());
+    a.lbu(Reg::R5, Reg::R2, 0);
+    a.addi(Reg::R1, Reg::R1, 1);
+    a.andi(Reg::R1, Reg::R1, (CAP - 1) as i16);
+    a.sw(Reg::R1, Reg::R0, tail.offset());
+    a.lw(Reg::R1, Reg::R0, count.offset());
+    a.addi(Reg::R1, Reg::R1, -1);
+    a.sw(Reg::R1, Reg::R0, count.offset());
+    a.serial_out(Reg::R5);
+    k.emit_yield(&mut a);
+    a.addi(Reg::R4, Reg::R4, -1);
+    a.bne(Reg::R4, Reg::R0, c_loop);
+    k.emit_thread_exit(&mut a);
+
+    a.bind(finale);
+    a.li(Reg::R5, b'.' as i32);
+    a.serial_out(Reg::R5);
+    a.halt(0);
+
+    k.emit_runtime(&mut a);
+    a.build().expect("queue is statically correct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofi_machine::{Machine, RunStatus};
+
+    #[test]
+    fn consumer_sees_all_items_in_order() {
+        let mut m = Machine::new(&queue());
+        assert_eq!(m.run(1_000_000), RunStatus::Halted { code: 0 });
+        let mut expected: Vec<u8> = (0..ITEMS).map(|i| (7 * i + 1) as u8).collect();
+        expected.push(b'.');
+        assert_eq!(m.serial(), expected);
+    }
+}

@@ -1,0 +1,124 @@
+//! Iterative quicksort with an explicit stack in RAM.
+//!
+//! Unlike [`crate::bubble_sort`] this benchmark keeps a *software stack*
+//! of pending subranges in memory — a different fault-exposure profile:
+//! corrupted stack entries cause wild subrange bounds (traps or wrong
+//! ordering), and stack slots have bursty lifetimes.
+
+use sofi_isa::{Asm, Program, Reg};
+
+/// The unsorted input.
+pub const INPUT: [u8; 12] = [93, 17, 68, 4, 250, 41, 7, 180, 33, 121, 2, 77];
+
+/// Maximum stack depth in (lo, hi) byte pairs.
+const STACK_SLOTS: u32 = 16;
+
+/// Builds the quicksort benchmark: sorts `INPUT` in place with
+/// Lomuto-partition quicksort driven by an explicit range stack, then
+/// emits the sorted array.
+///
+/// Register use: `r4` = lo, `r5` = hi, `r6` = pivot value, `r7` = store
+/// index, `r8` = scan index, `r9` = stack pointer (byte offset into the
+/// range stack), `r10`/`r11` = scratch bytes, `r2`/`r3` = addresses.
+pub fn quicksort() -> Program {
+    let mut a = Asm::with_name("quicksort");
+    let arr = a.data_bytes("arr", &INPUT);
+    let stack = a.data_space("stack", STACK_SLOTS * 2);
+    let n = INPUT.len() as i32;
+
+    // push (0, n-1)
+    a.li(Reg::R1, 0);
+    a.sb(Reg::R1, Reg::R0, stack.offset());
+    a.li(Reg::R1, n - 1);
+    a.sb(Reg::R1, Reg::R0, stack.at(1).offset());
+    a.li(Reg::R9, 2); // stack pointer (bytes used)
+
+    let loop_top = a.new_named_label("loop");
+    let done = a.new_named_label("done");
+    let skip = a.new_named_label("skip_range");
+
+    a.bind(loop_top);
+    a.beq(Reg::R9, Reg::R0, done);
+    // pop (lo, hi)
+    a.addi(Reg::R9, Reg::R9, -2);
+    a.addi(Reg::R2, Reg::R9, stack.offset());
+    a.lbu(Reg::R4, Reg::R2, 0); // lo
+    a.lbu(Reg::R5, Reg::R2, 1); // hi
+    a.bge(Reg::R4, Reg::R5, skip);
+
+    // Lomuto partition with pivot = arr[hi].
+    a.addi(Reg::R2, Reg::R5, arr.offset());
+    a.lbu(Reg::R6, Reg::R2, 0); // pivot
+    a.mv(Reg::R7, Reg::R4); // store index i = lo
+    a.mv(Reg::R8, Reg::R4); // scan index j = lo
+    let part_loop = a.label_here();
+    let no_swap = a.new_label();
+    a.addi(Reg::R2, Reg::R8, arr.offset());
+    a.lbu(Reg::R10, Reg::R2, 0); // arr[j]
+    a.bgeu(Reg::R10, Reg::R6, no_swap);
+    // swap arr[i], arr[j]
+    a.addi(Reg::R3, Reg::R7, arr.offset());
+    a.lbu(Reg::R11, Reg::R3, 0);
+    a.sb(Reg::R10, Reg::R3, 0);
+    a.sb(Reg::R11, Reg::R2, 0);
+    a.addi(Reg::R7, Reg::R7, 1);
+    a.bind(no_swap);
+    a.addi(Reg::R8, Reg::R8, 1);
+    a.bne(Reg::R8, Reg::R5, part_loop);
+    // swap arr[i], arr[hi] (place pivot)
+    a.addi(Reg::R2, Reg::R7, arr.offset());
+    a.lbu(Reg::R10, Reg::R2, 0);
+    a.addi(Reg::R3, Reg::R5, arr.offset());
+    a.lbu(Reg::R11, Reg::R3, 0);
+    a.sb(Reg::R10, Reg::R3, 0);
+    a.sb(Reg::R11, Reg::R2, 0);
+
+    // push (lo, i-1) if lo < i-1
+    let no_left = a.new_label();
+    a.addi(Reg::R10, Reg::R7, -1);
+    a.bge(Reg::R4, Reg::R10, no_left);
+    a.addi(Reg::R2, Reg::R9, stack.offset());
+    a.sb(Reg::R4, Reg::R2, 0);
+    a.sb(Reg::R10, Reg::R2, 1);
+    a.addi(Reg::R9, Reg::R9, 2);
+    a.bind(no_left);
+    // push (i+1, hi) if i+1 < hi
+    let no_right = a.new_label();
+    a.addi(Reg::R10, Reg::R7, 1);
+    a.bge(Reg::R10, Reg::R5, no_right);
+    a.addi(Reg::R2, Reg::R9, stack.offset());
+    a.sb(Reg::R10, Reg::R2, 0);
+    a.sb(Reg::R5, Reg::R2, 1);
+    a.addi(Reg::R9, Reg::R9, 2);
+    a.bind(no_right);
+
+    a.bind(skip);
+    a.j(loop_top);
+
+    a.bind(done);
+    a.li(Reg::R4, 0);
+    a.li(Reg::R5, n);
+    let dump = a.label_here();
+    a.addi(Reg::R2, Reg::R4, arr.offset());
+    a.lbu(Reg::R6, Reg::R2, 0);
+    a.serial_out(Reg::R6);
+    a.addi(Reg::R4, Reg::R4, 1);
+    a.bne(Reg::R4, Reg::R5, dump);
+    a.halt(0);
+    a.build().expect("quicksort is statically correct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofi_machine::{Machine, RunStatus};
+
+    #[test]
+    fn sorts_the_input() {
+        let mut expected = INPUT;
+        expected.sort_unstable();
+        let mut m = Machine::new(&quicksort());
+        assert_eq!(m.run(1_000_000), RunStatus::Halted { code: 0 });
+        assert_eq!(m.serial(), expected);
+    }
+}

@@ -1,0 +1,91 @@
+//! Run-length encoder/decoder round trip.
+//!
+//! Encodes an input buffer into `(count, byte)` pairs in RAM, decodes it
+//! back into a second buffer, and emits the decoded bytes. The
+//! intermediate encoded form is classic *short-lived-then-consumed* data —
+//! a contrast to the long-lived tables of the other benchmarks.
+
+use sofi_isa::{Asm, Program, Reg};
+
+/// The input to compress (deliberately runny).
+pub const INPUT: [u8; 18] = [
+    7, 7, 7, 7, 1, 1, 9, 9, 9, 9, 9, 9, 4, 2, 2, 2, 8, 8,
+];
+
+/// Builds the RLE round-trip benchmark.
+///
+/// Encoder registers: `r4` = read index, `r5` = current byte, `r6` = run
+/// length, `r7` = write index. Decoder registers: `r4` = read index,
+/// `r5` = count, `r6` = byte, `r7` = emit counter.
+pub fn rle() -> Program {
+    let n = INPUT.len() as i32;
+    let mut a = Asm::with_name("rle");
+    let input = a.data_bytes("input", &INPUT);
+    let encoded = a.data_space("encoded", 2 * INPUT.len() as u32 + 2);
+    let enc_len = a.data_word("enc_len", 0);
+
+    // ---- encode ----
+    a.li(Reg::R4, 0); // read index
+    a.li(Reg::R7, 0); // write index
+    let enc_outer = a.label_here();
+    let enc_done = a.new_label();
+    a.li(Reg::R2, n);
+    a.bge(Reg::R4, Reg::R2, enc_done);
+    a.addi(Reg::R2, Reg::R4, input.offset());
+    a.lbu(Reg::R5, Reg::R2, 0); // run byte
+    a.li(Reg::R6, 0); // run length
+    let run_scan = a.label_here();
+    let run_end = a.new_label();
+    a.li(Reg::R2, n);
+    a.bge(Reg::R4, Reg::R2, run_end);
+    a.addi(Reg::R2, Reg::R4, input.offset());
+    a.lbu(Reg::R3, Reg::R2, 0);
+    a.bne(Reg::R3, Reg::R5, run_end);
+    a.addi(Reg::R6, Reg::R6, 1);
+    a.addi(Reg::R4, Reg::R4, 1);
+    a.j(run_scan);
+    a.bind(run_end);
+    // emit (count, byte)
+    a.addi(Reg::R2, Reg::R7, encoded.offset());
+    a.sb(Reg::R6, Reg::R2, 0);
+    a.sb(Reg::R5, Reg::R2, 1);
+    a.addi(Reg::R7, Reg::R7, 2);
+    a.j(enc_outer);
+    a.bind(enc_done);
+    a.sw(Reg::R7, Reg::R0, enc_len.offset());
+
+    // ---- decode + emit ----
+    a.li(Reg::R4, 0); // encoded read index
+    a.lw(Reg::R8, Reg::R0, enc_len.offset());
+    let dec_outer = a.label_here();
+    let dec_done = a.new_label();
+    a.bge(Reg::R4, Reg::R8, dec_done);
+    a.addi(Reg::R2, Reg::R4, encoded.offset());
+    a.lbu(Reg::R5, Reg::R2, 0); // count
+    a.lbu(Reg::R6, Reg::R2, 1); // byte
+    a.addi(Reg::R4, Reg::R4, 2);
+    let emit = a.label_here();
+    let next_pair = a.new_label();
+    a.beq(Reg::R5, Reg::R0, next_pair);
+    a.serial_out(Reg::R6);
+    a.addi(Reg::R5, Reg::R5, -1);
+    a.j(emit);
+    a.bind(next_pair);
+    a.j(dec_outer);
+    a.bind(dec_done);
+    a.halt(0);
+    a.build().expect("rle is statically correct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofi_machine::{Machine, RunStatus};
+
+    #[test]
+    fn round_trips_the_input() {
+        let mut m = Machine::new(&rle());
+        assert_eq!(m.run(1_000_000), RunStatus::Halted { code: 0 });
+        assert_eq!(m.serial(), INPUT);
+    }
+}

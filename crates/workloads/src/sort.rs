@@ -1,0 +1,94 @@
+//! Bubble sort over an in-RAM byte array.
+
+use sofi_harden::TmrWord;
+use sofi_isa::{Asm, Program, Reg};
+
+/// The unsorted input used by both variants.
+const INPUT: [u8; 8] = [42, 7, 99, 3, 56, 120, 11, 73];
+
+/// Shared code generator; `len_loader` emits "load the element count into
+/// `r8`" in the variant's own way.
+fn build(name: &str, mut a: Asm, len_loader: impl Fn(&mut Asm)) -> Program {
+    let arr = a.data_bytes("arr", &INPUT);
+
+    // Outer loop: n-1 passes; r4 = pass counter. The count is re-read
+    // (plain or voted) at every pass, as a real implementation consulting
+    // a container's size field would.
+    len_loader(&mut a);
+    a.addi(Reg::R4, Reg::R8, -1); // passes remaining
+    let outer = a.label_here();
+    len_loader(&mut a);
+    // Inner loop: j = 0 .. n-2; r5 = j.
+    a.li(Reg::R5, 0);
+    let inner = a.label_here();
+    a.addi(Reg::R2, Reg::R5, arr.offset());
+    a.lbu(Reg::R6, Reg::R2, 0);
+    a.lbu(Reg::R7, Reg::R2, 1);
+    let no_swap = a.new_label();
+    a.bgeu(Reg::R7, Reg::R6, no_swap);
+    a.sb(Reg::R7, Reg::R2, 0);
+    a.sb(Reg::R6, Reg::R2, 1);
+    a.bind(no_swap);
+    a.addi(Reg::R5, Reg::R5, 1);
+    a.addi(Reg::R3, Reg::R8, -1); // n-1
+    a.bne(Reg::R5, Reg::R3, inner);
+    a.addi(Reg::R4, Reg::R4, -1);
+    a.bne(Reg::R4, Reg::R0, outer);
+
+    // Emit the sorted array.
+    a.li(Reg::R5, 0);
+    let dump = a.label_here();
+    a.addi(Reg::R2, Reg::R5, arr.offset());
+    a.lbu(Reg::R6, Reg::R2, 0);
+    a.serial_out(Reg::R6);
+    a.addi(Reg::R5, Reg::R5, 1);
+    a.bne(Reg::R5, Reg::R8, dump);
+    a.halt(0);
+
+    let mut p = a.build().expect("sort is statically correct");
+    p.name = name.to_owned();
+    p
+}
+
+/// Baseline bubble sort: the element count lives in a plain RAM word that
+/// is read before each pass (a small but perfectly critical datum — a
+/// corrupted count truncates or overruns the sort).
+pub fn bubble_sort() -> Program {
+    let mut a = Asm::with_name("bubble_sort");
+    let len = a.data_word("len", INPUT.len() as u32);
+    build("bubble_sort", a, move |a| {
+        a.lw(Reg::R8, Reg::R0, len.offset());
+    })
+}
+
+/// TMR-hardened bubble sort: the element count is stored in a
+/// [`TmrWord`] and majority-voted on each load.
+pub fn bubble_sort_tmr() -> Program {
+    let mut a = Asm::with_name("bubble_sort+tmr");
+    let len = TmrWord::declare(&mut a, "len", INPUT.len() as u32);
+    build("bubble_sort+tmr", a, move |a| {
+        len.emit_load(a, Reg::R8, Reg::R1, Reg::R2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofi_machine::{Machine, RunStatus};
+
+    #[test]
+    fn sorts_the_input() {
+        let mut expected = INPUT;
+        expected.sort_unstable();
+        for p in [bubble_sort(), bubble_sort_tmr()] {
+            let mut m = Machine::new(&p);
+            assert_eq!(m.run(1_000_000), RunStatus::Halted { code: 0 });
+            assert_eq!(m.serial(), expected, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn tmr_variant_costs_memory() {
+        assert!(bubble_sort_tmr().ram_size > bubble_sort().ram_size);
+    }
+}

@@ -1,0 +1,234 @@
+//! `sync2`: synchronization stress with an event log.
+//!
+//! Re-creation of the eCos `sync2` kernel test as the paper's Figure 2
+//! uses it: two threads contend for a mutex semaphore, update four shared
+//! counters, and append progress entries to an in-memory *event log* that
+//! is dumped to the serial interface at the end of the run.
+//!
+//! The SUM+DMR variant protects the four counters and additionally scrubs
+//! a pool of protected configuration words every round — faithful to
+//! protection libraries that periodically re-verify their objects. The
+//! consequences mirror the paper's findings:
+//!
+//! * the *protected* counters were only a modest share of the baseline's
+//!   failure mass (they are re-written every round, so their windows are
+//!   short),
+//! * the *unprotected* event log's failure mass scales with runtime (each
+//!   entry stays live until the final dump), and the scrubbing inflates
+//!   the runtime severalfold,
+//!
+//! so the hardened variant's absolute failure count **increases** while
+//! its fault coverage still looks better — the wrong-design-decision trap
+//! of §V-B (Figure 2b vs 2e).
+
+use crate::kernel::{Kernel, KernelProtection};
+use crate::Variant;
+use sofi_harden::HashDmrWord;
+use sofi_isa::{Asm, DataLabel, Program, Reg};
+
+/// Rounds each thread executes.
+const ROUNDS: i32 = 5;
+/// Protected configuration words scrubbed per round in the hardened
+/// variant (with signature recomputation the dominant runtime cost).
+const SCRUB_POOL: usize = 3;
+/// Log entries: 2 threads × 2 bytes × ROUNDS.
+const LOG_BYTES: u32 = (2 * 2 * ROUNDS) as u32;
+
+enum Counter {
+    Plain(DataLabel),
+    Protected(HashDmrWord),
+}
+
+impl Counter {
+    fn emit_add(&self, a: &mut Asm, delta: i16) {
+        // r5 ← counter; r5 += delta; counter ← r5 (r5 holds the new value
+        // afterwards for logging).
+        match self {
+            Counter::Plain(l) => {
+                a.lw(Reg::R5, Reg::R0, l.offset());
+                a.addi(Reg::R5, Reg::R5, delta);
+                a.sw(Reg::R5, Reg::R0, l.offset());
+            }
+            Counter::Protected(p) => {
+                p.emit_load(a, Reg::R5, Reg::R1, Reg::R2, Reg::R3);
+                a.addi(Reg::R5, Reg::R5, delta);
+                p.emit_store(a, Reg::R5, Reg::R1, Reg::R2);
+            }
+        }
+    }
+
+    fn emit_load(&self, a: &mut Asm, dst: Reg) {
+        match self {
+            Counter::Plain(l) => {
+                a.lw(dst, Reg::R0, l.offset());
+            }
+            Counter::Protected(p) => p.emit_load(a, dst, Reg::R1, Reg::R2, Reg::R3),
+        }
+    }
+}
+
+/// Appends the low byte of `r5` to the log (`log[pos++] = r5`).
+/// Clobbers `r1`, `r2`.
+fn emit_log_append(a: &mut Asm, log: DataLabel, pos: DataLabel) {
+    a.lw(Reg::R1, Reg::R0, pos.offset());
+    a.addi(Reg::R2, Reg::R1, log.offset());
+    a.sb(Reg::R5, Reg::R2, 0);
+    a.addi(Reg::R1, Reg::R1, 1);
+    a.sw(Reg::R1, Reg::R0, pos.offset());
+}
+
+/// Builds the `sync2` benchmark in the requested variant (with the
+/// default scrub-pool size).
+///
+/// Output: the `LOG_BYTES`-byte event log followed by the low bytes of
+/// the four counters — identical for both variants.
+pub fn sync2(variant: Variant) -> Program {
+    sync2_param(variant, SCRUB_POOL)
+}
+
+/// [`sync2`] with an explicit scrub-pool size — the knob that controls
+/// the hardened variant's runtime overhead. Sweeping it locates the
+/// *crossover* where the protection's benefit is eaten by the exposure
+/// growth of unprotected data (see the `crossover` experiment binary).
+pub fn sync2_param(variant: Variant, scrub_pool: usize) -> Program {
+    let name = match variant {
+        Variant::Baseline => "sync2".to_owned(),
+        Variant::SumDmr => {
+            if scrub_pool == SCRUB_POOL {
+                "sync2+sumdmr".to_owned()
+            } else {
+                format!("sync2+sumdmr(pool={scrub_pool})")
+            }
+        }
+    };
+    let mut a = Asm::with_name(name);
+    let protection = match variant {
+        Variant::Baseline => KernelProtection::None,
+        Variant::SumDmr => KernelProtection::SumDmr,
+    };
+
+    let log = a.data_space("log", LOG_BYTES);
+    let pos = a.data_word("log_pos", 0);
+    let counters: Vec<Counter> = (0..4)
+        .map(|i| match variant {
+            Variant::Baseline => Counter::Plain(a.data_word(format!("c{i}"), 0)),
+            Variant::SumDmr => {
+                Counter::Protected(HashDmrWord::declare(&mut a, &format!("c{i}"), 0))
+            }
+        })
+        .collect();
+    // Hardened-only: the scrub pool of protected configuration words.
+    let pool: Vec<HashDmrWord> = if variant == Variant::SumDmr {
+        (0..scrub_pool)
+            .map(|i| HashDmrWord::declare(&mut a, &format!("cfg{i}"), 0x1000 + i as u32))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let ta = a.new_named_label("thread_a");
+    let tb = a.new_named_label("thread_b");
+    let finale = a.new_named_label("finale");
+    let k = Kernel::emit_prologue(&mut a, &[ta, tb], finale, protection);
+    let mutex = k.declare_sem(&mut a, "mutex", true);
+
+    let emit_round = |a: &mut Asm, k: &Kernel, c_first: usize, d1: i16, c_second: usize, d2: i16| {
+        k.emit_sem_wait(a, mutex);
+        // Hardened: verify the whole protected state on critical-section
+        // entry (the expensive part).
+        for w in &pool {
+            w.emit_scrub(a, Reg::R1, Reg::R2, Reg::R3, Reg::R14);
+        }
+        counters[c_first].emit_add(a, d1);
+        emit_log_append(a, log, pos);
+        counters[c_second].emit_add(a, d2);
+        emit_log_append(a, log, pos);
+        // ...and again on exit, so no corruption survives a critical
+        // section unchecked.
+        for w in &pool {
+            w.emit_scrub(a, Reg::R1, Reg::R2, Reg::R3, Reg::R14);
+        }
+        k.emit_sem_post(a, mutex);
+        k.emit_yield(a);
+    };
+
+    // Thread A: counters 0 and 1.
+    a.bind(ta);
+    a.li(Reg::R4, ROUNDS);
+    let la = a.label_here();
+    emit_round(&mut a, &k, 0, 3, 1, 5);
+    a.addi(Reg::R4, Reg::R4, -1);
+    a.bne(Reg::R4, Reg::R0, la);
+    k.emit_thread_exit(&mut a);
+
+    // Thread B: counters 2 and 3.
+    a.bind(tb);
+    a.li(Reg::R4, ROUNDS);
+    let lbm = a.label_here();
+    emit_round(&mut a, &k, 2, 7, 3, 11);
+    a.addi(Reg::R4, Reg::R4, -1);
+    a.bne(Reg::R4, Reg::R0, lbm);
+    k.emit_thread_exit(&mut a);
+
+    // Finale: dump the log, then the counters.
+    a.bind(finale);
+    a.li(Reg::R4, 0);
+    a.li(Reg::R6, LOG_BYTES as i32);
+    let dump = a.label_here();
+    a.addi(Reg::R2, Reg::R4, log.offset());
+    a.lb(Reg::R5, Reg::R2, 0);
+    a.serial_out(Reg::R5);
+    a.addi(Reg::R4, Reg::R4, 1);
+    a.bne(Reg::R4, Reg::R6, dump);
+    for c in &counters {
+        c.emit_load(&mut a, Reg::R5);
+        a.serial_out(Reg::R5);
+    }
+    a.halt(0);
+
+    k.emit_runtime(&mut a);
+    a.build().expect("sync2 is statically correct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofi_machine::{Machine, RunStatus};
+
+    fn run(v: Variant) -> Machine {
+        let mut m = Machine::new(&sync2(v));
+        assert_eq!(m.run(10_000_000), RunStatus::Halted { code: 0 });
+        m
+    }
+
+    #[test]
+    fn log_and_counters_are_deterministic() {
+        let m = run(Variant::Baseline);
+        let out = m.serial();
+        assert_eq!(out.len() as u32, LOG_BYTES + 4);
+        // Final counter values: A adds 3 and 5, B adds 7 and 11, 5 rounds.
+        let tail = &out[LOG_BYTES as usize..];
+        assert_eq!(tail, &[15, 25, 35, 55]);
+        // The log's last entries per counter match the final values.
+        assert!(out[..LOG_BYTES as usize].contains(&15));
+        assert!(out[..LOG_BYTES as usize].contains(&55));
+    }
+
+    #[test]
+    fn variants_agree_on_output() {
+        let base = run(Variant::Baseline);
+        let hard = run(Variant::SumDmr);
+        assert_eq!(base.serial(), hard.serial());
+        assert_eq!(hard.detect_count(), 0);
+    }
+
+    #[test]
+    fn hardened_runtime_explodes() {
+        // The paper's Figure 2g: sync2's hardened variant has an extremely
+        // increased runtime — the root of its failure-count worsening.
+        let base = run(Variant::Baseline);
+        let hard = run(Variant::SumDmr);
+        let ratio = hard.cycle() as f64 / base.cycle() as f64;
+        assert!(ratio > 3.0, "runtime ratio only {ratio:.2}");
+    }
+}

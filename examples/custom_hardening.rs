@@ -1,0 +1,145 @@
+//! Hardening your own benchmark — and choosing the right mechanism.
+//!
+//! Builds a small accumulator benchmark, uses the per-byte vulnerability
+//! map (an AVF/PVF-style metric, §VII) to find its critical data, applies
+//! three different protection mechanisms to it, and compares every
+//! variant with the paper's sound metric. The heavyweight mechanism
+//! reproduces the paper's sync2 trap in miniature: it protects the
+//! hotspot perfectly and still *worsens* the program, because its runtime
+//! overhead inflates the exposure of the data it does not cover.
+//!
+//! ```sh
+//! cargo run --release --example custom_hardening
+//! ```
+
+use sofi::harden::{HashDmrWord, ProtectedWord, TmrWord};
+use sofi::metrics::byte_vulnerability;
+use sofi::prelude::*;
+
+/// Which mechanism guards the accumulator.
+#[derive(Clone, Copy, PartialEq)]
+enum Guard {
+    None,
+    SumDmr,
+    Tmr,
+    HashDmr,
+}
+
+/// Iterates `acc = acc·31 + i` 64 times with `acc` in RAM (the critical
+/// datum), then prints the accumulator and a small unprotected status
+/// record written at boot — the residual exposure every variant keeps.
+fn build(guard: Guard) -> Program {
+    let name = match guard {
+        Guard::None => "acc",
+        Guard::SumDmr => "acc+sumdmr",
+        Guard::Tmr => "acc+tmr",
+        Guard::HashDmr => "acc+hashdmr",
+    };
+    let mut a = Asm::with_name(name);
+
+    enum W {
+        Plain(sofi::isa::DataLabel),
+        Sum(ProtectedWord),
+        Tmr(TmrWord),
+        Hash(HashDmrWord),
+    }
+    let acc = match guard {
+        Guard::None => W::Plain(a.data_word("acc", 1)),
+        Guard::SumDmr => W::Sum(ProtectedWord::declare(&mut a, "acc", 1)),
+        Guard::Tmr => W::Tmr(TmrWord::declare(&mut a, "acc", 1)),
+        Guard::HashDmr => W::Hash(HashDmrWord::declare(&mut a, "acc", 1)),
+    };
+    let status = a.data_space("status", 2);
+    let load = |a: &mut Asm, w: &W| match w {
+        W::Plain(l) => {
+            a.lw(Reg::R5, Reg::R0, l.offset());
+        }
+        W::Sum(p) => p.emit_load(a, Reg::R5, Reg::R1, Reg::R2),
+        W::Tmr(p) => p.emit_load(a, Reg::R5, Reg::R1, Reg::R2),
+        W::Hash(p) => p.emit_load(a, Reg::R5, Reg::R1, Reg::R2, Reg::R3),
+    };
+    let store = |a: &mut Asm, w: &W| match w {
+        W::Plain(l) => {
+            a.sw(Reg::R5, Reg::R0, l.offset());
+        }
+        W::Sum(p) => p.emit_store(a, Reg::R5, Reg::R1),
+        W::Tmr(p) => p.emit_store(a, Reg::R5),
+        W::Hash(p) => p.emit_store(a, Reg::R5, Reg::R1, Reg::R2),
+    };
+
+    // Boot: write the status record (read back only at the very end).
+    a.li(Reg::R7, 0xEE);
+    a.sb(Reg::R7, Reg::R0, status.offset());
+    a.li(Reg::R7, 0x77);
+    a.sb(Reg::R7, Reg::R0, status.at(1).offset());
+
+    a.li(Reg::R4, 0);
+    a.li(Reg::R6, 64);
+    let top = a.label_here();
+    load(&mut a, &acc);
+    a.li(Reg::R8, 31);
+    a.mul(Reg::R5, Reg::R5, Reg::R8);
+    a.add(Reg::R5, Reg::R5, Reg::R4);
+    store(&mut a, &acc);
+    a.addi(Reg::R4, Reg::R4, 1);
+    a.bne(Reg::R4, Reg::R6, top);
+
+    load(&mut a, &acc);
+    for _ in 0..4 {
+        a.serial_out(Reg::R5);
+        a.srli(Reg::R5, Reg::R5, 8);
+    }
+    a.lbu(Reg::R7, Reg::R0, status.offset());
+    a.serial_out(Reg::R7);
+    a.lbu(Reg::R7, Reg::R0, status.at(1).offset());
+    a.serial_out(Reg::R7);
+    a.build().expect("statically correct")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Step 1: where do the baseline's failures live?
+    let baseline = build(Guard::None);
+    let campaign = Campaign::new(&baseline)?;
+    let result = campaign.run_full_defuse();
+    let map = byte_vulnerability(&result);
+    println!("baseline vulnerability hotspots (per-byte failure fraction):");
+    for (addr, v) in map.hotspots().into_iter().take(6) {
+        let sym = baseline
+            .symbols
+            .iter()
+            .rev()
+            .find(|(_, a)| *a <= addr)
+            .map(|(n, _)| n.as_str())
+            .unwrap_or("?");
+        println!("  byte {addr:#04x} ({sym}): {v:.2}");
+    }
+    println!("-> the status bytes are almost always fatal but tiny; the accumulator");
+    println!("   is the largest failing object. Protect the accumulator.\n");
+
+    // Step 2: compare three mechanisms on the identified hotspot.
+    let f_base = exact_failures(&result);
+    println!("variant       F        r       runtime");
+    println!("----------------------------------------");
+    println!(
+        "{:<12} {:>7.0} {:>7} {:>9}",
+        baseline.name, f_base.failures, "-", result.golden_cycles
+    );
+    for guard in [Guard::SumDmr, Guard::Tmr, Guard::HashDmr] {
+        let program = build(guard);
+        let campaign = Campaign::new(&program)?;
+        let res = campaign.run_full_defuse();
+        let f = exact_failures(&res);
+        let cmp = compare_failures(&f_base, &f);
+        println!(
+            "{:<12} {:>7.0} {:>7.3} {:>9}",
+            program.name, f.failures, cmp.ratio, res.golden_cycles
+        );
+    }
+    println!();
+    println!("The two lightweight mechanisms pay off (r < 1): they remove the");
+    println!("accumulator's failure mass for a ~1.6x runtime cost. The signature-hash");
+    println!("variant protects the same data yet WORSENS the program by 6x: its 10x");
+    println!("runtime multiplies the unprotected status record's exposure — the");
+    println!("paper's sync2 effect reproduced in miniature.");
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Meta-crate for the `sofi` workspace: hosts the cross-crate integration
+//! tests in `/tests` and the runnable examples in `/examples`.
+//!
+//! The actual library lives in [`sofi`] and the crates it re-exports.
+
+pub use sofi;
