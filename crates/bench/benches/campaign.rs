@@ -1,9 +1,10 @@
 //! Campaign execution throughput: full def/use scans, sequential vs
 //! parallel, plus the brute-force scan used for pruning validation.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sofi::campaign::{Campaign, CampaignConfig, FaultDomain};
 use sofi::workloads::{fib, hi, Variant};
+use sofi_bench::harness::{Criterion, Throughput};
+use sofi_bench::{criterion_group, criterion_main};
 
 fn bench_full_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("campaign/full_defuse");
@@ -49,11 +50,8 @@ fn bench_fork_ablation(c: &mut Criterion) {
     // Ablation: the pristine-fork optimization vs naive replay-from-zero.
     let mut group = c.benchmark_group("campaign/fork_ablation");
     group.sample_size(10);
-    let campaign = Campaign::with_config(
-        &fib(Variant::Baseline),
-        CampaignConfig::sequential(),
-    )
-    .unwrap();
+    let campaign =
+        Campaign::with_config(&fib(Variant::Baseline), CampaignConfig::sequential()).unwrap();
     let experiments = &campaign.plan().experiments;
     group.bench_function("forking", |b| {
         b.iter(|| campaign.run_experiments(experiments));

@@ -1,10 +1,11 @@
 //! Def/use analysis throughput: golden-run capture, timeline digestion
 //! and equivalence-class extraction (§III-C machinery).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sofi::space::DefUseAnalysis;
 use sofi::trace::GoldenRun;
 use sofi::workloads::{bin_sem2, sync2, Variant};
+use sofi_bench::harness::Criterion;
+use sofi_bench::{criterion_group, criterion_main};
 
 fn bench_golden_capture(c: &mut Criterion) {
     let mut group = c.benchmark_group("pruning/golden_capture");

@@ -1,18 +1,18 @@
 //! Sampling-campaign throughput: draw resolution via the class index and
 //! end-to-end sampled campaigns.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sofi::campaign::{Campaign, SamplingMode};
 use sofi::space::{sample, ClassIndex};
 use sofi::workloads::{bin_sem2, Variant};
+use sofi_bench::harness::{Criterion, Throughput};
+use sofi_bench::{criterion_group, criterion_main};
+use sofi_rng::DefaultRng;
 
 fn bench_draw_resolution(c: &mut Criterion) {
     let mut group = c.benchmark_group("sampling/resolve_draws");
     let campaign = Campaign::new(&bin_sem2(Variant::Baseline)).unwrap();
     let index = ClassIndex::new(campaign.analysis(), campaign.plan());
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = DefaultRng::seed_from_u64(7);
     let coords = sample::draw_uniform(campaign.plan().space, 100_000, &mut rng);
     group.throughput(Throughput::Elements(coords.len() as u64));
     group.bench_function("bin_sem2_100k", |b| {
@@ -28,7 +28,7 @@ fn bench_sampled_campaign(c: &mut Criterion) {
     for mode in [SamplingMode::UniformRaw, SamplingMode::WeightedClasses] {
         group.bench_function(format!("{mode:?}_10k"), |b| {
             b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(7);
+                let mut rng = DefaultRng::seed_from_u64(7);
                 campaign.run_sampled(10_000, mode, &mut rng)
             });
         });

@@ -1,9 +1,10 @@
 //! Simulator throughput: instructions per second and machine-fork cost —
 //! the two quantities that bound campaign wall-clock time.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use sofi::machine::Machine;
 use sofi::workloads::{crc32, matmul, sync2, Variant};
+use sofi_bench::harness::{BatchSize, Criterion, Throughput};
+use sofi_bench::{criterion_group, criterion_main};
 
 fn bench_execution(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator/execute");

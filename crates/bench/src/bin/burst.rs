@@ -7,7 +7,6 @@
 //! inside a word are still corrected; bursts straddling a replica boundary
 //! can defeat it.
 
-use serde::Serialize;
 use sofi::campaign::Campaign;
 use sofi::report::Table;
 use sofi::workloads::{bin_sem2, fib, Variant};
@@ -15,16 +14,20 @@ use sofi_bench::save_artifact;
 
 const DRAWS: u64 = 25_000;
 
-#[derive(Serialize)]
 struct BurstRow {
     benchmark: String,
     width: u32,
     failure_fraction: f64,
     extrapolated_failures: f64,
 }
+sofi::report::impl_to_json!(BurstRow {
+    benchmark,
+    width,
+    failure_fraction,
+    extrapolated_failures
+});
 
 fn main() {
-    use rand::SeedableRng;
     let mut rows = Vec::new();
     let programs = [
         fib(Variant::Baseline),
@@ -36,7 +39,7 @@ fn main() {
         eprintln!("burst-sampling {} ...", program.name);
         let campaign = Campaign::new(program).expect("golden run");
         for width in [1u32, 2, 4, 8] {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(0xB0B5);
+            let mut rng = sofi_rng::DefaultRng::seed_from_u64(0xB0B5);
             let b = campaign.run_burst_sampled(DRAWS, width, &mut rng);
             rows.push(BurstRow {
                 benchmark: program.name.clone(),
@@ -65,10 +68,22 @@ fn main() {
         let (b, h) = (&pair[..4], &pair[4..]);
         t.row(vec![
             b[0].benchmark.clone(),
-            format!("{:.3}", h[0].extrapolated_failures / b[0].extrapolated_failures.max(1.0)),
-            format!("{:.3}", h[1].extrapolated_failures / b[1].extrapolated_failures.max(1.0)),
-            format!("{:.3}", h[2].extrapolated_failures / b[2].extrapolated_failures.max(1.0)),
-            format!("{:.3}", h[3].extrapolated_failures / b[3].extrapolated_failures.max(1.0)),
+            format!(
+                "{:.3}",
+                h[0].extrapolated_failures / b[0].extrapolated_failures.max(1.0)
+            ),
+            format!(
+                "{:.3}",
+                h[1].extrapolated_failures / b[1].extrapolated_failures.max(1.0)
+            ),
+            format!(
+                "{:.3}",
+                h[2].extrapolated_failures / b[2].extrapolated_failures.max(1.0)
+            ),
+            format!(
+                "{:.3}",
+                h[3].extrapolated_failures / b[3].extrapolated_failures.max(1.0)
+            ),
         ]);
     }
     println!("{t}");

@@ -21,14 +21,12 @@
 //! comparing extrapolated absolute failure counts (each coarse result
 //! weighted by its granule) agrees within the aliasing error.
 
-use serde::Serialize;
 use sofi::campaign::{Campaign, OutcomeClass};
 use sofi::space::{ClassIndex, ClassRef, FaultCoord};
 use sofi::workloads::{bin_sem2, fib, Variant};
 use sofi_bench::save_artifact;
 use std::collections::HashMap;
 
-#[derive(Serialize)]
 struct LayerRow {
     benchmark: String,
     granule: u64,
@@ -39,6 +37,16 @@ struct LayerRow {
     coarse_failures_extrapolated: f64,
     failure_ratio: f64,
 }
+sofi::report::impl_to_json!(LayerRow {
+    benchmark,
+    granule,
+    fine_coverage,
+    coarse_coverage,
+    coverage_error_pp,
+    fine_failures,
+    coarse_failures_extrapolated,
+    failure_ratio
+});
 
 fn evaluate(program: &sofi::isa::Program, granule: u64) -> LayerRow {
     let campaign = Campaign::new(program).expect("golden run");

@@ -8,14 +8,12 @@
 //! protection pays off, to the right it is a net loss, while the (bogus)
 //! coverage verdict stays "improved" across the whole sweep.
 
-use serde::Serialize;
 use sofi::campaign::Campaign;
 use sofi::metrics::{fault_coverage, Weighting};
 use sofi::report::{bar_chart, Table};
 use sofi::workloads::{bin_sem2_param, Variant};
 use sofi_bench::save_artifact;
 
-#[derive(Serialize)]
 struct SweepRow {
     scrub_pool: usize,
     runtime_ratio: f64,
@@ -24,6 +22,14 @@ struct SweepRow {
     coverage_hardened: f64,
     coverage_says_improved: bool,
 }
+sofi::report::impl_to_json!(SweepRow {
+    scrub_pool,
+    runtime_ratio,
+    r,
+    coverage_baseline,
+    coverage_hardened,
+    coverage_says_improved
+});
 
 fn main() {
     let baseline = bin_sem2_param(Variant::Baseline, 0);
@@ -73,7 +79,10 @@ fn main() {
         ]);
     }
     println!("{t}");
-    println!("(baseline coverage: {:.1}%)", rows[0].coverage_baseline * 100.0);
+    println!(
+        "(baseline coverage: {:.1}%)",
+        rows[0].coverage_baseline * 100.0
+    );
 
     println!("r vs overhead:");
     println!(

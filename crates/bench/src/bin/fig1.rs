@@ -8,7 +8,6 @@
 //! fault space shrinks from ~10⁶ coordinates to a few thousand
 //! experiments.
 
-use serde::Serialize;
 use sofi::campaign::Campaign;
 use sofi::isa::MemWidth;
 use sofi::machine::{AccessKind, MemAccess};
@@ -18,13 +17,18 @@ use sofi::trace::Timelines;
 use sofi::workloads::{sync2, Variant};
 use sofi_bench::save_artifact;
 
-#[derive(Serialize)]
 struct Fig1Stats {
     raw_fault_space: u64,
     experiments_after_pruning: usize,
     known_benign_weight: u64,
     reduction_factor: f64,
 }
+sofi::report::impl_to_json!(Fig1Stats {
+    raw_fault_space,
+    experiments_after_pruning,
+    known_benign_weight,
+    reduction_factor
+});
 
 fn stats(analysis: &DefUseAnalysis) -> Fig1Stats {
     let plan = analysis.plan();

@@ -8,14 +8,12 @@
 //! (f) extrapolated failure counts from sampling,
 //! (g) runtime and memory usage.
 
-use serde::Serialize;
 use sofi::metrics::{extrapolated_failures, fault_coverage, sampled_coverage, Weighting};
 use sofi::report::{bar_chart, Table};
 use sofi_bench::{evaluate, pct, save_artifact, EvaluatedVariant};
 
 const SAMPLE_DRAWS: u64 = 20_000;
 
-#[derive(Serialize)]
 struct PanelRow {
     variant: String,
     unweighted_coverage: f64,
@@ -29,6 +27,19 @@ struct PanelRow {
     runtime_cycles: u64,
     ram_bytes: u64,
 }
+sofi::report::impl_to_json!(PanelRow {
+    variant,
+    unweighted_coverage,
+    weighted_coverage,
+    sampled_coverage,
+    sampled_coverage_ci,
+    unweighted_failures,
+    weighted_failures,
+    extrapolated_failures,
+    extrapolated_ci,
+    runtime_cycles,
+    ram_bytes
+});
 
 fn row(v: &EvaluatedVariant) -> PanelRow {
     let est = sampled_coverage(&v.sampled, 0.95);

@@ -7,20 +7,24 @@
 //! further with more padding) while the absolute failure count stays at
 //! exactly 48 — the proof that coverage cannot compare programs.
 
-use serde::Serialize;
 use sofi::campaign::Campaign;
 use sofi::metrics::{fault_coverage, Weighting};
 use sofi::report::outcome_diagram;
 use sofi::workloads::{hi, hi_dft, hi_dft_prime};
 use sofi_bench::save_artifact;
 
-#[derive(Serialize)]
 struct Fig3Row {
     variant: String,
     fault_space: u64,
     failures_weighted: u64,
     coverage: f64,
 }
+sofi::report::impl_to_json!(Fig3Row {
+    variant,
+    fault_space,
+    failures_weighted,
+    coverage
+});
 
 fn scan(program: &sofi::isa::Program, draw: bool) -> Fig3Row {
     let campaign = Campaign::new(program).expect("golden run");

@@ -6,23 +6,31 @@
 //! prints the lifetime distribution of its def/use classes and the
 //! resulting gap between unweighted and weighted fault coverage.
 
-use serde::Serialize;
 use sofi::campaign::Campaign;
 use sofi::metrics::{fault_coverage, Weighting};
 use sofi::report::{bar_chart, Table};
 use sofi_bench::save_artifact;
 
-#[derive(Serialize)]
 struct LifetimeRow {
     benchmark: String,
     classes: u64,
     min: u64,
-    median: u64,
+    median: f64,
     max: u64,
     mean: f64,
     std_dev: f64,
     coverage_gap_pp: f64,
 }
+sofi::report::impl_to_json!(LifetimeRow {
+    benchmark,
+    classes,
+    min,
+    median,
+    max,
+    mean,
+    std_dev,
+    coverage_gap_pp
+});
 
 fn main() {
     let mut rows = Vec::new();
@@ -66,7 +74,7 @@ fn main() {
             r.benchmark.clone(),
             r.classes.to_string(),
             r.min.to_string(),
-            r.median.to_string(),
+            format!("{:.1}", r.median),
             r.max.to_string(),
             format!("{:.1}", r.mean),
             format!("{:.1}", r.std_dev),

@@ -15,14 +15,12 @@
 //!    and the bias is correspondingly small — showing the pitfall is
 //!    workload-dependent and therefore treacherous.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::Serialize;
 use sofi::campaign::{Campaign, SamplingMode};
 use sofi::isa::{Asm, Program, Reg};
 use sofi::report::Table;
 use sofi::workloads::{bin_sem2, Variant};
 use sofi_bench::save_artifact;
+use sofi_rng::DefaultRng;
 
 const DRAWS: u64 = 50_000;
 
@@ -51,13 +49,18 @@ fn skewed_program() -> Program {
     a.build().expect("skewed benchmark is statically correct")
 }
 
-#[derive(Serialize)]
 struct Estimate {
     benchmark: String,
     sampler: String,
     failure_fraction: f64,
     truth: f64,
 }
+sofi::report::impl_to_json!(Estimate {
+    benchmark,
+    sampler,
+    failure_fraction,
+    truth
+});
 
 fn run_estimates(program: &Program, out: &mut Vec<Estimate>) {
     let campaign = Campaign::new(program).expect("golden run");
@@ -65,10 +68,16 @@ fn run_estimates(program: &Program, out: &mut Vec<Estimate>) {
     let w_prime = campaign.plan().experiment_weight() as f64;
     let truth = full.failure_weight() as f64 / w_prime;
 
-    let mut rng = StdRng::seed_from_u64(0xB1A5);
+    let mut rng = DefaultRng::seed_from_u64(0xB1A5);
     for (mode, label) in [
-        (SamplingMode::WeightedClasses, "weight-proportional (correct)"),
-        (SamplingMode::BiasedPerClass, "uniform per class (PITFALL 2)"),
+        (
+            SamplingMode::WeightedClasses,
+            "weight-proportional (correct)",
+        ),
+        (
+            SamplingMode::BiasedPerClass,
+            "uniform per class (PITFALL 2)",
+        ),
     ] {
         let s = campaign.run_sampled(DRAWS, mode, &mut rng);
         out.push(Estimate {

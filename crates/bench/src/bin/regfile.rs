@@ -6,13 +6,11 @@
 //! absolute failure counts) carries over unchanged; only the location
 //! axis differs, exactly as the paper's generalization argues.
 
-use serde::Serialize;
 use sofi::campaign::Campaign;
 use sofi::metrics::{fault_coverage, Weighting};
 use sofi::report::Table;
 use sofi_bench::save_artifact;
 
-#[derive(Serialize)]
 struct DomainRow {
     variant: String,
     mem_space: u64,
@@ -22,6 +20,15 @@ struct DomainRow {
     reg_failures: u64,
     reg_coverage: f64,
 }
+sofi::report::impl_to_json!(DomainRow {
+    variant,
+    mem_space,
+    mem_failures,
+    mem_coverage,
+    reg_space,
+    reg_failures,
+    reg_coverage
+});
 
 fn main() {
     let mut rows = Vec::new();
@@ -62,7 +69,10 @@ fn main() {
             format!("{:.1}%", r.mem_coverage * 100.0),
             r.reg_failures.to_string(),
             format!("{:.1}%", r.reg_coverage * 100.0),
-            format!("{:.3}", r.reg_failures as f64 / r.mem_failures.max(1) as f64),
+            format!(
+                "{:.3}",
+                r.reg_failures as f64 / r.mem_failures.max(1) as f64
+            ),
         ]);
     }
     println!("{t}");
@@ -74,8 +84,14 @@ fn main() {
         let (b, h) = (&pair[0], &pair[1]);
         t.row(vec![
             b.variant.clone(),
-            format!("{:.3}", h.mem_failures as f64 / b.mem_failures.max(1) as f64),
-            format!("{:.3}", h.reg_failures as f64 / b.reg_failures.max(1) as f64),
+            format!(
+                "{:.3}",
+                h.mem_failures as f64 / b.mem_failures.max(1) as f64
+            ),
+            format!(
+                "{:.3}",
+                h.reg_failures as f64 / b.reg_failures.max(1) as f64
+            ),
         ]);
     }
     println!("{t}");

@@ -3,15 +3,12 @@
 //! corollaries — re-estimated from sampling with *different* sample sizes
 //! per variant (extrapolation makes them comparable anyway).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::Serialize;
 use sofi::campaign::{Campaign, SamplingMode};
 use sofi::metrics::{compare_failures, exact_failures, extrapolated_failures};
 use sofi::report::Table;
 use sofi_bench::save_artifact;
+use sofi_rng::DefaultRng;
 
-#[derive(Serialize)]
 struct SummaryRow {
     benchmark: String,
     f_baseline: u64,
@@ -21,6 +18,15 @@ struct SummaryRow {
     ratio_sampled_ci: (f64, f64),
     improves: bool,
 }
+sofi::report::impl_to_json!(SummaryRow {
+    benchmark,
+    f_baseline,
+    f_hardened,
+    ratio_full_scan,
+    ratio_sampled,
+    ratio_sampled_ci,
+    improves
+});
 
 fn main() {
     let mut rows = Vec::new();
@@ -34,7 +40,7 @@ fn main() {
 
         // Deliberately different sample sizes: extrapolation (Pitfall 3,
         // Corollary 2) makes the counts comparable regardless.
-        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let mut rng = DefaultRng::seed_from_u64(0x5EED);
         let sb = cb.run_sampled(30_000, SamplingMode::UniformRaw, &mut rng);
         let sh = ch.run_sampled(80_000, SamplingMode::UniformRaw, &mut rng);
         let sampled = compare_failures(

@@ -1,0 +1,279 @@
+//! Minimal in-tree wall-clock benchmark harness.
+//!
+//! A dependency-free stand-in for the subset of the `criterion` API the
+//! bench targets use (`benchmark_group`, `bench_function`, `iter`,
+//! `iter_batched`, throughput annotations and the `criterion_group!` /
+//! `criterion_main!` macros). Timing is plain [`std::time::Instant`]
+//! around batches of iterations: each benchmark runs a short warm-up,
+//! then `sample_size` timed samples, and reports the minimum, median and
+//! mean time per iteration (plus elements/s when a throughput is set).
+//!
+//! This keeps `cargo bench --features bench` fully offline; statistical
+//! sophistication is explicitly out of scope — the numbers are meant for
+//! the relative comparisons in EXPERIMENTS.md, not microbenchmark
+//! rigor.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness state, passed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("{name}");
+        BenchmarkGroup {
+            _criterion: self,
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+}
+
+/// Per-iteration work declared for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the in-tree harness
+/// always runs one setup per measured iteration, so the variants only
+/// exist for criterion source compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are cheap to set up.
+    SmallInput,
+    /// Inputs are expensive to set up.
+    LargeInput,
+    /// One setup per iteration (what this harness always does).
+    PerIteration,
+}
+
+/// A group of benchmarks sharing throughput/sample-size settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Sets how many timed samples to take (default 20).
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(2);
+    }
+
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // Warm-up: run the routine untimed until ~50 ms have elapsed so
+        // caches/allocators settle and we learn roughly how long one
+        // iteration takes.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warmup_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        while warmup_start.elapsed() < Duration::from_millis(50) {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        }
+        // Aim for ~10 ms per sample, at least one iteration.
+        let iters_per_sample = (Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1 << 20) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples[0];
+        let median = (samples[samples.len() / 2] + samples[(samples.len() - 1) / 2]) / 2.0;
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+
+        let mut line = format!(
+            "  {id:<24} min {:>10}  median {:>10}  mean {:>10}",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean)
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                line.push_str(&format!("  {:>12} elem/s", fmt_count(n as f64 / median)));
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                line.push_str(&format!("  {:>12} B/s", fmt_count(n as f64 / median)));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (prints a separating blank line).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Handed to the benchmark closure; runs and times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh untimed `setup` product per iteration.
+    pub fn iter_batched<S, O, Setup, Routine>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: Routine,
+        _size: BatchSize,
+    ) where
+        Setup: FnMut() -> S,
+        Routine: FnMut(S) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            elapsed += start.elapsed();
+            black_box(out);
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn fmt_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Declares a bench group function running each target in order
+/// (in-tree replacement for `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main` (in-tree replacement for
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_counts_iterations() {
+        let mut b = Bencher {
+            iters: 5,
+            elapsed: Duration::ZERO,
+        };
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn bencher_iter_batched_runs_setup_per_iteration() {
+        let mut b = Bencher {
+            iters: 3,
+            elapsed: Duration::ZERO,
+        };
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        b.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |s| {
+                runs += 1;
+                s
+            },
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 3);
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+        assert_eq!(fmt_count(1.5e9), "1.50G");
+        assert_eq!(fmt_count(1.5e6), "1.50M");
+        assert_eq!(fmt_count(1.5e3), "1.50k");
+        assert_eq!(fmt_count(15.0), "15");
+    }
+}

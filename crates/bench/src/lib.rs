@@ -7,6 +7,8 @@
 //! `SOFI_RESULTS_DIR` environment variable is set, writes a JSON artifact
 //! with the underlying numbers into that directory.
 
+pub mod harness;
+
 use sofi::campaign::{Campaign, CampaignResult, SampledResult, SamplingMode};
 use sofi::isa::Program;
 use sofi::trace::TraceStats;
@@ -32,11 +34,10 @@ pub struct EvaluatedVariant {
 /// Panics if the program's golden run fails — experiment binaries treat
 /// that as a build error.
 pub fn evaluate(program: &Program, sample_draws: u64, seed: u64) -> EvaluatedVariant {
-    use rand::SeedableRng;
     let campaign = Campaign::new(program).expect("golden run must succeed");
     let stats = TraceStats::from_golden(campaign.golden());
     let full = campaign.run_full_defuse();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = sofi_rng::DefaultRng::seed_from_u64(seed);
     let sampled = campaign.run_sampled(sample_draws, SamplingMode::UniformRaw, &mut rng);
     EvaluatedVariant {
         name: program.name.clone(),
@@ -52,7 +53,7 @@ pub fn results_dir() -> Option<PathBuf> {
 }
 
 /// Writes a JSON artifact when a results directory is configured.
-pub fn save_artifact<T: serde::Serialize>(name: &str, value: &T) {
+pub fn save_artifact<T: sofi::report::ToJson>(name: &str, value: &T) {
     if let Some(dir) = results_dir() {
         if let Err(e) = std::fs::create_dir_all(&dir) {
             eprintln!("warning: cannot create {}: {e}", dir.display());
@@ -61,7 +62,7 @@ pub fn save_artifact<T: serde::Serialize>(name: &str, value: &T) {
         let path = dir.join(name);
         match std::fs::File::create(&path) {
             Ok(f) => {
-                if let Err(e) = serde_json::to_writer_pretty(f, value) {
+                if let Err(e) = sofi::report::write_json(value, f) {
                     eprintln!("warning: cannot write {}: {e}", path.display());
                 }
             }

@@ -15,13 +15,13 @@
 
 use crate::executor::Campaign;
 use crate::outcome::{Outcome, OutcomeClass};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 use sofi_machine::Machine;
+use sofi_rng::Rng;
 use sofi_space::{ClassIndex, ClassRef, FaultCoord};
 
 /// Result of a burst-fault sampling campaign.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BurstSampledResult {
     /// Benchmark name.
     pub benchmark: String,
@@ -155,9 +155,8 @@ impl Campaign {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use sofi_isa::{Asm, Reg};
+    use sofi_rng::DefaultRng;
 
     fn hi_campaign() -> Campaign {
         let mut a = Asm::with_name("hi");
@@ -176,7 +175,7 @@ mod tests {
     #[test]
     fn width_one_matches_single_bit_model() {
         let c = hi_campaign();
-        let mut rng = StdRng::seed_from_u64(31);
+        let mut rng = DefaultRng::seed_from_u64(31);
         let b = c.run_burst_sampled(20_000, 1, &mut rng);
         assert_eq!(b.population, 128);
         // True failure fraction 48/128 = 0.375.
@@ -190,7 +189,7 @@ mod tests {
         let c = hi_campaign();
         let mut fractions = Vec::new();
         for width in [1u32, 2, 4, 8] {
-            let mut rng = StdRng::seed_from_u64(32);
+            let mut rng = DefaultRng::seed_from_u64(32);
             let b = c.run_burst_sampled(8_000, width, &mut rng);
             fractions.push(b.failure_draws as f64 / b.draws as f64);
         }
@@ -203,7 +202,7 @@ mod tests {
     #[test]
     fn accounting_is_complete() {
         let c = hi_campaign();
-        let mut rng = StdRng::seed_from_u64(33);
+        let mut rng = DefaultRng::seed_from_u64(33);
         let b = c.run_burst_sampled(2_000, 3, &mut rng);
         assert_eq!(b.by_kind.iter().sum::<u64>(), b.draws);
         assert!(b.benign_skips > 0);
@@ -213,7 +212,7 @@ mod tests {
     #[should_panic(expected = "burst width")]
     fn oversized_width_panics() {
         let c = hi_campaign();
-        let mut rng = StdRng::seed_from_u64(34);
+        let mut rng = DefaultRng::seed_from_u64(34);
         c.run_burst_sampled(10, 17, &mut rng);
     }
 }

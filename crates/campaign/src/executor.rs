@@ -7,9 +7,26 @@ use sofi_isa::Program;
 use sofi_machine::{ExternalEvent, Machine};
 use sofi_space::{DefUseAnalysis, Experiment, InjectionPlan};
 use sofi_trace::{GoldenError, GoldenRun};
+use std::sync::OnceLock;
 
 /// Default cycle limit for capturing golden runs.
 const GOLDEN_CYCLE_LIMIT: u64 = 50_000_000;
+
+/// Instrumentation from one executor invocation, used by scheduling
+/// regression tests and the EXPERIMENTS.md bench evidence.
+///
+/// `pristine_cycles` counts only forward simulation of *pristine*
+/// machines performed during the call (advancing to injection points);
+/// the faulted runs themselves and the one-time checkpoint construction
+/// (at most one golden runtime, amortized over every subsequent parallel
+/// run of the campaign) are not included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Workers that actually executed experiments.
+    pub workers: usize,
+    /// Total pristine forward-simulation cycles across all workers.
+    pub pristine_cycles: u64,
+}
 
 /// A prepared fault-injection campaign: program, golden run, def/use
 /// analysis and pruned plan, ready to execute scans or samples.
@@ -25,6 +42,10 @@ pub struct Campaign {
     reg_analysis: DefUseAnalysis,
     reg_plan: InjectionPlan,
     config: CampaignConfig,
+    /// Evenly spaced pristine-machine snapshots, built lazily on the
+    /// first parallel run so workers can start mid-run instead of
+    /// re-simulating from cycle 0.
+    checkpoints: OnceLock<Vec<Machine>>,
 }
 
 impl Campaign {
@@ -79,6 +100,7 @@ impl Campaign {
             reg_analysis,
             reg_plan,
             config,
+            checkpoints: OnceLock::new(),
         })
     }
 
@@ -186,25 +208,99 @@ impl Campaign {
         domain: FaultDomain,
         experiments: &[Experiment],
     ) -> Vec<ExperimentResult> {
+        self.run_experiments_stats(domain, experiments).0
+    }
+
+    /// [`Campaign::run_experiments_in`] plus executor instrumentation.
+    ///
+    /// Parallel runs partition the cycle-sorted experiment list into one
+    /// contiguous chunk per worker, balanced by cycle span (not by
+    /// experiment count): each worker advances its own pristine machine
+    /// over a disjoint cycle range, starting from the nearest
+    /// [checkpoint](ExecutorStats). Total pristine forward simulation
+    /// therefore stays within a small factor of the sequential executor
+    /// instead of growing linearly with the worker count.
+    pub fn run_experiments_stats(
+        &self,
+        domain: FaultDomain,
+        experiments: &[Experiment],
+    ) -> (Vec<ExperimentResult>, ExecutorStats) {
         let threads = self
             .config
             .effective_threads()
             .min(experiments.len().max(1));
         if threads <= 1 {
-            return self.run_worker(domain, experiments.iter().copied());
+            let (results, pristine_cycles) =
+                self.run_worker(domain, self.fresh_machine(), experiments.iter().copied());
+            return (
+                results,
+                ExecutorStats {
+                    workers: 1,
+                    pristine_cycles,
+                },
+            );
         }
+
+        // Cycle-sort so every chunk is a contiguous injection-cycle range.
+        let mut sorted = experiments.to_vec();
+        sorted.sort_unstable_by_key(|e| (e.coord.cycle, e.coord.bit, e.id));
+        let chunks = chunk_by_cycle_span(&sorted, threads);
+        let checkpoints = self.checkpoints();
+
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let worker = experiments.iter().copied().skip(t).step_by(threads);
-                    scope.spawn(move || self.run_worker(domain, worker))
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let start = self.machine_at(checkpoints, chunk[0].coord.cycle - 1);
+                    scope.spawn(move || self.run_worker(domain, start, chunk.iter().copied()))
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("campaign worker panicked"))
-                .collect()
+            let mut stats = ExecutorStats {
+                workers: handles.len(),
+                pristine_cycles: 0,
+            };
+            let mut results = Vec::with_capacity(sorted.len());
+            for handle in handles {
+                let (part, cycles) = handle.join().expect("campaign worker panicked");
+                stats.pristine_cycles += cycles;
+                results.extend(part);
+            }
+            (results, stats)
         })
+    }
+
+    /// A pristine machine at cycle 0.
+    fn fresh_machine(&self) -> Machine {
+        Machine::with_events(&self.program, self.config.machine, self.events.clone())
+    }
+
+    /// The evenly spaced pristine snapshots, built on first use. The
+    /// build costs at most one golden runtime and is amortized over
+    /// every subsequent parallel run.
+    fn checkpoints(&self) -> &[Machine] {
+        self.checkpoints.get_or_init(|| {
+            let count = (8 * self.config.effective_threads() as u64).clamp(16, 256);
+            let spacing = (self.golden.cycles / count).max(1);
+            let mut machine = self.fresh_machine();
+            let mut snapshots = Vec::new();
+            let mut cycle = spacing;
+            while cycle < self.golden.cycles {
+                let early = machine.run_to(cycle);
+                debug_assert!(early.is_none(), "golden run outlived itself");
+                snapshots.push(machine.clone());
+                cycle += spacing;
+            }
+            snapshots
+        })
+    }
+
+    /// Clones the latest checkpoint at or before `cycle` (a fresh
+    /// machine when none qualifies).
+    fn machine_at(&self, checkpoints: &[Machine], cycle: u64) -> Machine {
+        match checkpoints.partition_point(|m| m.cycle() <= cycle) {
+            0 => self.fresh_machine(),
+            n => checkpoints[n - 1].clone(),
+        }
     }
 
     /// Naive reference executor: replays every experiment from cycle 0
@@ -230,8 +326,7 @@ impl Campaign {
                     FaultDomain::RegisterFile => m.flip_reg_bit(e.coord.bit),
                 }
                 let status = m.run(budget);
-                let outcome =
-                    Outcome::classify(status, m.serial(), m.detect_count(), &self.golden);
+                let outcome = Outcome::classify(status, m.serial(), m.detect_count(), &self.golden);
                 ExperimentResult {
                     experiment: e,
                     outcome,
@@ -242,22 +337,23 @@ impl Campaign {
 
     /// Sequential worker: advances a pristine machine monotonically along
     /// the (cycle-sorted) experiment stream and forks it per experiment.
+    /// Returns the results plus the pristine cycles simulated.
     fn run_worker(
         &self,
         domain: FaultDomain,
+        mut pristine: Machine,
         experiments: impl Iterator<Item = Experiment>,
-    ) -> Vec<ExperimentResult> {
+    ) -> (Vec<ExperimentResult>, u64) {
         let budget = self.config.cycle_budget(self.golden.cycles);
-        let mut pristine =
-            Machine::with_events(&self.program, self.config.machine, self.events.clone());
+        let mut pristine_cycles = 0u64;
         let mut out = Vec::new();
         for e in experiments {
             let pre_cycle = e.coord.cycle - 1;
             if pristine.cycle() > pre_cycle {
                 // Out-of-order experiment: restart the pristine machine.
-                pristine =
-                    Machine::with_events(&self.program, self.config.machine, self.events.clone());
+                pristine = self.fresh_machine();
             }
+            pristine_cycles += pre_cycle - pristine.cycle();
             let early = pristine.run_to(pre_cycle);
             assert!(
                 early.is_none(),
@@ -276,8 +372,33 @@ impl Campaign {
                 outcome,
             });
         }
-        out
+        (out, pristine_cycles)
     }
+}
+
+/// Splits the cycle-sorted experiments into at most `chunks` contiguous
+/// runs with (approximately) equal injection-cycle spans. Balancing by
+/// span rather than by count bounds each worker's pristine
+/// forward-simulation range; empty spans produce no chunk.
+fn chunk_by_cycle_span(sorted: &[Experiment], chunks: usize) -> Vec<&[Experiment]> {
+    debug_assert!(!sorted.is_empty() && chunks > 0);
+    let first = sorted[0].coord.cycle;
+    let span = sorted[sorted.len() - 1].coord.cycle - first;
+    let mut out = Vec::with_capacity(chunks);
+    let mut begin = 0;
+    for k in 1..=chunks as u64 {
+        let end = if k == chunks as u64 {
+            sorted.len()
+        } else {
+            let bound = first + span * k / chunks as u64;
+            begin + sorted[begin..].partition_point(|e| e.coord.cycle <= bound)
+        };
+        if end > begin {
+            out.push(&sorted[begin..end]);
+            begin = end;
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -352,13 +473,13 @@ mod tests {
     fn naive_replay_agrees_with_forking_executor() {
         let c = Campaign::with_config(&hi_program(), CampaignConfig::sequential()).unwrap();
         let fast = c.run_experiments(&c.plan().experiments);
-        let naive =
-            c.run_experiments_naive(crate::FaultDomain::Memory, &c.plan().experiments);
+        let naive = c.run_experiments_naive(crate::FaultDomain::Memory, &c.plan().experiments);
         assert_eq!(fast, naive);
     }
 
     #[test]
     fn parallel_and_sequential_agree() {
+        // Tiny plan (16 experiments, more workers than cycle chunks)…
         let p = hi_program();
         let seq = Campaign::with_config(&p, CampaignConfig::sequential())
             .unwrap()
@@ -373,6 +494,108 @@ mod tests {
         .unwrap()
         .run_full_defuse();
         assert_eq!(seq, par);
+
+        // …and a plan large enough that every worker gets a
+        // multi-experiment contiguous chunk, in both fault domains.
+        let p = sofi_workloads::fib(sofi_workloads::Variant::Baseline);
+        let seq = Campaign::with_config(&p, CampaignConfig::sequential()).unwrap();
+        let par = Campaign::with_config(
+            &p,
+            CampaignConfig {
+                threads: 4,
+                ..CampaignConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            seq.plan().experiments.len() >= 64,
+            "memory plan too small ({}) to exercise chunking",
+            seq.plan().experiments.len()
+        );
+        assert!(
+            seq.register_plan().experiments.len() >= 64,
+            "register plan too small ({}) to exercise chunking",
+            seq.register_plan().experiments.len()
+        );
+        assert_eq!(seq.run_full_defuse(), par.run_full_defuse());
+        assert_eq!(
+            seq.run_full_defuse_registers(),
+            par.run_full_defuse_registers()
+        );
+    }
+
+    #[test]
+    fn contiguous_chunks_bound_pristine_simulation() {
+        // The scheduling regression this executor fixes: strided
+        // round-robin distribution made every worker sweep (nearly) the
+        // whole cycle range, so pristine forward simulation grew ~T×.
+        // Contiguous cycle-span chunks + checkpoints keep it within
+        // ~1.2× of the single-worker executor.
+        let p = sofi_workloads::fib(sofi_workloads::Variant::Baseline);
+        let seq = Campaign::with_config(&p, CampaignConfig::sequential()).unwrap();
+        let (mut seq_res, seq_stats) =
+            seq.run_experiments_stats(FaultDomain::Memory, &seq.plan().experiments);
+        assert_eq!(seq_stats.workers, 1);
+        assert!(seq_stats.pristine_cycles > 0);
+
+        let par = Campaign::with_config(
+            &p,
+            CampaignConfig {
+                threads: 4,
+                ..CampaignConfig::default()
+            },
+        )
+        .unwrap();
+        let (mut par_res, par_stats) =
+            par.run_experiments_stats(FaultDomain::Memory, &par.plan().experiments);
+        assert!(par_stats.workers > 1, "expected a parallel run");
+
+        seq_res.sort_by_key(|r| r.experiment.id);
+        par_res.sort_by_key(|r| r.experiment.id);
+        assert_eq!(seq_res, par_res);
+
+        let ratio = par_stats.pristine_cycles as f64 / seq_stats.pristine_cycles as f64;
+        eprintln!(
+            "pristine cycles: sequential {} / parallel {} over {} workers (ratio {ratio:.3})",
+            seq_stats.pristine_cycles, par_stats.pristine_cycles, par_stats.workers
+        );
+        assert!(
+            ratio <= 1.2,
+            "parallel executor simulated {}x the sequential pristine cycles \
+             ({} vs {})",
+            ratio,
+            par_stats.pristine_cycles,
+            seq_stats.pristine_cycles
+        );
+    }
+
+    #[test]
+    fn cycle_span_chunks_are_contiguous_and_cover() {
+        let experiments: Vec<Experiment> = (0..40u32)
+            .map(|i| Experiment {
+                id: i,
+                // Quadratic spacing: a span-balanced split must put many
+                // more early (dense) experiments in the first chunk.
+                coord: sofi_space::FaultCoord {
+                    cycle: 1 + (i as u64) * (i as u64),
+                    bit: 0,
+                },
+                weight: 1,
+            })
+            .collect();
+        let chunks = super::chunk_by_cycle_span(&experiments, 4);
+        assert!(!chunks.is_empty() && chunks.len() <= 4);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, experiments.len());
+        // Chunks are contiguous, in order, and disjoint in cycle ranges.
+        let mut last_cycle = 0;
+        for chunk in &chunks {
+            assert!(!chunk.is_empty());
+            assert!(chunk[0].coord.cycle > last_cycle);
+            last_cycle = chunk[chunk.len() - 1].coord.cycle;
+        }
+        // Span balance: the dense low-cycle half lands in the first chunk.
+        assert!(chunks[0].len() > chunks[chunks.len() - 1].len());
     }
 
     #[test]
@@ -417,10 +640,9 @@ mod tests {
         let p = a.build().unwrap();
         let c = Campaign::new(&p).unwrap();
         let r = c.run_full_defuse();
-        assert!(r
-            .results
-            .iter()
-            .all(|res| res.outcome == Outcome::DetectedCorrected || res.outcome == Outcome::NoEffect));
+        assert!(r.results.iter().all(
+            |res| res.outcome == Outcome::DetectedCorrected || res.outcome == Outcome::NoEffect
+        ));
         assert_eq!(r.failure_weight(), 0);
     }
 }

@@ -12,8 +12,11 @@
 //! * plans are sorted by injection cycle, so a single *pristine* machine is
 //!   advanced monotonically and cheaply cloned at each injection point
 //!   (no per-experiment replay from cycle 0);
-//! * experiments are independent, so they are distributed round-robin over
-//!   worker threads.
+//! * experiments are independent, so the cycle-sorted list is split into
+//!   one contiguous cycle-span chunk per worker thread, each worker
+//!   starting from a pristine checkpoint near its chunk — total pristine
+//!   forward simulation stays close to the sequential executor's instead
+//!   of growing with the thread count.
 //!
 //! # Examples
 //!
@@ -49,7 +52,7 @@ mod sampling;
 
 pub use burst::BurstSampledResult;
 pub use config::CampaignConfig;
-pub use executor::Campaign;
+pub use executor::{Campaign, ExecutorStats};
 pub use outcome::{Outcome, OutcomeClass, ABORT_CODE};
 pub use result::{CampaignResult, ExperimentResult, FaultDomain};
-pub use sampling::{SampledResult, SamplingMode};
+pub use sampling::{SampledOutcome, SampledResult, SamplingMode};

@@ -7,7 +7,6 @@
 //! generalization in §VI-B extrapolates each effective outcome type
 //! separately.
 
-use serde::{Deserialize, Serialize};
 use sofi_machine::{RunStatus, Trap};
 use sofi_trace::GoldenRun;
 use std::fmt;
@@ -19,7 +18,8 @@ use std::fmt;
 pub const ABORT_CODE: u16 = 0xDE;
 
 /// Detailed outcome of one FI experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Outcome {
     /// Output, exit status and detection count match the golden run: the
     /// fault was masked or stayed dormant.
@@ -124,7 +124,8 @@ impl fmt::Display for Outcome {
 }
 
 /// The paper's two-way coalescing: benign vs failure (§II-D).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum OutcomeClass {
     /// No externally visible effect (includes detected-and-corrected).
     NoEffect,

@@ -1,11 +1,11 @@
 //! Campaign result data.
 
 use crate::outcome::{Outcome, OutcomeClass};
-use serde::{Deserialize, Serialize};
 use sofi_space::{Experiment, FaultSpace};
 
 /// Which machine component the faults were injected into.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum FaultDomain {
     /// Main memory — the paper's primary fault model (§II-C).
     Memory,
@@ -16,7 +16,8 @@ pub enum FaultDomain {
 }
 
 /// Outcome of one executed experiment (one def/use class).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExperimentResult {
     /// The planned experiment (coordinate + class weight).
     pub experiment: Experiment,
@@ -31,7 +32,8 @@ pub struct ExperimentResult {
 /// remainder of the fault space. The accounting itself — weighted coverage,
 /// failure counts, extrapolation — lives in `sofi-metrics` so correct and
 /// deliberately wrong variants can be compared side by side.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CampaignResult {
     /// Benchmark name (from the program).
     pub benchmark: String,

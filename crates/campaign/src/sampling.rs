@@ -3,13 +3,13 @@
 use crate::executor::Campaign;
 use crate::outcome::{Outcome, OutcomeClass};
 use crate::result::FaultDomain;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use sofi_rng::Rng;
 use sofi_space::sample::{self, SampleBatch};
 use sofi_space::{ClassIndex, Experiment};
 
 /// How samples are drawn from the fault space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SamplingMode {
     /// Uniform over the raw fault space `w` (the textbook procedure of
     /// §III-B). Draws landing on known-benign coordinates are counted
@@ -28,7 +28,8 @@ pub enum SamplingMode {
 
 /// One sampled class outcome: the experiment, how many draws hit it, and
 /// what the conducted injection observed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SampledOutcome {
     /// The class representative that was injected.
     pub experiment: Experiment,
@@ -39,7 +40,8 @@ pub struct SampledOutcome {
 }
 
 /// Result of a sampling campaign.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SampledResult {
     /// Benchmark name.
     pub benchmark: String,
@@ -125,15 +127,22 @@ impl Campaign {
             }
         };
 
-        // Conduct one experiment per distinct class hit.
+        // Conduct one experiment per distinct class hit. Plans built by
+        // this workspace assign positional ids, but that is not part of
+        // the `InjectionPlan` contract — resolve each id through a real
+        // lookup (positional fast path, linear fallback) instead of
+        // blindly indexing.
         let mut ids: Vec<u32> = batch.experiment_hits.keys().copied().collect();
         ids.sort_unstable();
         let experiments: Vec<Experiment> = ids
             .iter()
             .map(|&id| {
-                let e = plan.experiments[id as usize];
-                debug_assert_eq!(e.id, id, "plan ids must be positional");
-                e
+                plan.experiments
+                    .get(id as usize)
+                    .filter(|e| e.id == id)
+                    .or_else(|| plan.experiments.iter().find(|e| e.id == id))
+                    .copied()
+                    .unwrap_or_else(|| panic!("sampled class id {id} is not in the plan"))
             })
             .collect();
         let mut results = self.run_experiments_in(domain, &experiments);
@@ -162,9 +171,8 @@ impl Campaign {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use sofi_isa::{Asm, Reg};
+    use sofi_rng::DefaultRng;
 
     fn hi_campaign() -> Campaign {
         let mut a = Asm::with_name("hi");
@@ -183,7 +191,7 @@ mod tests {
     #[test]
     fn uniform_sampling_estimates_failure_fraction() {
         let c = hi_campaign();
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = DefaultRng::seed_from_u64(11);
         let s = c.run_sampled(20_000, SamplingMode::UniformRaw, &mut rng);
         assert_eq!(s.population, 128);
         let accounted: u64 = s.benign_draws + s.outcomes.iter().map(|o| o.hits).sum::<u64>();
@@ -198,7 +206,7 @@ mod tests {
     #[test]
     fn weighted_sampling_uses_reduced_population() {
         let c = hi_campaign();
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = DefaultRng::seed_from_u64(12);
         let s = c.run_sampled(5_000, SamplingMode::WeightedClasses, &mut rng);
         assert_eq!(s.population, 48); // w' = experiment weight only
         assert_eq!(s.benign_draws, 0);
@@ -209,15 +217,23 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_given_seed() {
         let c = hi_campaign();
-        let s1 = c.run_sampled(500, SamplingMode::UniformRaw, &mut StdRng::seed_from_u64(7));
-        let s2 = c.run_sampled(500, SamplingMode::UniformRaw, &mut StdRng::seed_from_u64(7));
+        let s1 = c.run_sampled(
+            500,
+            SamplingMode::UniformRaw,
+            &mut DefaultRng::seed_from_u64(7),
+        );
+        let s2 = c.run_sampled(
+            500,
+            SamplingMode::UniformRaw,
+            &mut DefaultRng::seed_from_u64(7),
+        );
         assert_eq!(s1, s2);
     }
 
     #[test]
     fn biased_mode_reports_class_population() {
         let c = hi_campaign();
-        let mut rng = StdRng::seed_from_u64(13);
+        let mut rng = DefaultRng::seed_from_u64(13);
         let s = c.run_sampled(100, SamplingMode::BiasedPerClass, &mut rng);
         assert_eq!(s.population, 48);
         assert_eq!(s.draws, 100);

@@ -16,8 +16,6 @@
 //! All functions return the text they would print, so they are directly
 //! testable; the binary's `main` is a thin shell around [`dispatch`].
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sofi_campaign::{Campaign, CampaignResult, SamplingMode};
 use sofi_isa::{assemble_text, Program};
 use sofi_metrics::{
@@ -25,6 +23,7 @@ use sofi_metrics::{
     Weighting,
 };
 use sofi_report::{fault_space_diagram, Table};
+use sofi_rng::DefaultRng;
 use std::fmt::Write as _;
 
 /// CLI failure: bad usage or a failing pipeline step, with a user-facing
@@ -73,15 +72,13 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         Some("diagram") => cmd_diagram(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("help") | None => Ok(USAGE.to_owned()),
-        Some(other) => Err(CliError(format!(
-            "unknown command `{other}`\n\n{USAGE}"
-        ))),
+        Some(other) => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
 }
 
 fn load_program(path: &str) -> Result<Program, CliError> {
-    let source = std::fs::read_to_string(path)
-        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
     let name = std::path::Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
@@ -181,16 +178,15 @@ fn campaign_report(result: &CampaignResult, campaign: &Campaign) -> String {
 
 fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
     let program = load_program(positional(args, 0)?)?;
-    let campaign = Campaign::new(&program)
-        .map_err(|e| CliError(format!("golden run failed: {e}")))?;
+    let campaign =
+        Campaign::new(&program).map_err(|e| CliError(format!("golden run failed: {e}")))?;
     let result = if args.iter().any(|a| a == "--registers") {
         campaign.run_full_defuse_registers()
     } else {
         campaign.run_full_defuse()
     };
     if args.iter().any(|a| a == "--json") {
-        return sofi_report::to_json(&result)
-            .map_err(|e| CliError(format!("serialization failed: {e}")));
+        return Ok(sofi_report::to_json(&result));
     }
     Ok(campaign_report(&result, &campaign))
 }
@@ -205,9 +201,9 @@ fn cmd_sample(args: &[String]) -> Result<String, CliError> {
         "biased" => SamplingMode::BiasedPerClass,
         other => return Err(CliError(format!("unknown sampling mode `{other}`"))),
     };
-    let campaign = Campaign::new(&program)
-        .map_err(|e| CliError(format!("golden run failed: {e}")))?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let campaign =
+        Campaign::new(&program).map_err(|e| CliError(format!("golden run failed: {e}")))?;
+    let mut rng = DefaultRng::seed_from_u64(seed);
     let sampled = campaign.run_sampled(draws, mode, &mut rng);
     let est = extrapolated_failures(&sampled, 0.95);
     let mut out = String::new();
@@ -236,8 +232,8 @@ fn cmd_sample(args: &[String]) -> Result<String, CliError> {
 
 fn cmd_diagram(args: &[String]) -> Result<String, CliError> {
     let program = load_program(positional(args, 0)?)?;
-    let campaign = Campaign::new(&program)
-        .map_err(|e| CliError(format!("golden run failed: {e}")))?;
+    let campaign =
+        Campaign::new(&program).map_err(|e| CliError(format!("golden run failed: {e}")))?;
     fault_space_diagram(campaign.analysis()).ok_or_else(|| {
         CliError(format!(
             "fault space too large to draw ({} cycles x {} bits)",
@@ -327,8 +323,7 @@ mod tests {
     #[test]
     fn campaign_registers_command() {
         let p = write_temp("hi3.s", HI);
-        let out =
-            dispatch(&args(&["campaign", p.to_str().unwrap(), "--registers"])).unwrap();
+        let out = dispatch(&args(&["campaign", p.to_str().unwrap(), "--registers"])).unwrap();
         assert!(out.contains("RegisterFile"), "{out}");
     }
 
@@ -337,8 +332,9 @@ mod tests {
         let p = write_temp("hi4.s", HI);
         let out = dispatch(&args(&["campaign", p.to_str().unwrap(), "--json"])).unwrap();
         assert!(out.contains("\"benchmark\""), "{out}");
-        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
-        assert_eq!(parsed["space"]["cycles"], 8);
+        let parsed = sofi_report::Json::parse(&out).unwrap();
+        let cycles = parsed.get("space").and_then(|s| s.get("cycles"));
+        assert_eq!(cycles.and_then(sofi_report::Json::as_u64), Some(8));
     }
 
     #[test]

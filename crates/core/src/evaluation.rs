@@ -71,7 +71,10 @@ impl Evaluation {
 
     /// Weighted absolute failure counts `(baseline, hardened)`.
     pub fn failure_counts(&self) -> (u64, u64) {
-        (self.baseline.failure_weight(), self.hardened.failure_weight())
+        (
+            self.baseline.failure_weight(),
+            self.hardened.failure_weight(),
+        )
     }
 }
 
@@ -99,7 +102,7 @@ pub fn compare_sampled(
 /// # Errors
 ///
 /// Returns [`GoldenError`] if either program's fault-free run fails.
-pub fn sampled_pair<R: rand::Rng + ?Sized>(
+pub fn sampled_pair<R: sofi_rng::Rng + ?Sized>(
     baseline: &Program,
     hardened: &Program,
     draws: u64,
@@ -108,7 +111,10 @@ pub fn sampled_pair<R: rand::Rng + ?Sized>(
 ) -> Result<(SampledResult, SampledResult), GoldenError> {
     let cb = Campaign::new(baseline)?;
     let ch = Campaign::new(hardened)?;
-    Ok((cb.run_sampled(draws, mode, rng), ch.run_sampled(draws, mode, rng)))
+    Ok((
+        cb.run_sampled(draws, mode, rng),
+        ch.run_sampled(draws, mode, rng),
+    ))
 }
 
 #[cfg(test)]
@@ -139,8 +145,7 @@ mod tests {
 
     #[test]
     fn real_protection_actually_improves() {
-        let eval =
-            Evaluation::full_scan(&fib(Variant::Baseline), &fib(Variant::SumDmr)).unwrap();
+        let eval = Evaluation::full_scan(&fib(Variant::Baseline), &fib(Variant::SumDmr)).unwrap();
         let cmp = eval.comparison();
         assert!(
             cmp.improves(),

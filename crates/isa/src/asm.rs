@@ -443,22 +443,26 @@ impl Asm {
 
     /// Branch if equal.
     pub fn beq(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
-        self.items.push(Item::Branch(BranchKind::Eq, rs1, rs2, target));
+        self.items
+            .push(Item::Branch(BranchKind::Eq, rs1, rs2, target));
         self
     }
     /// Branch if not equal.
     pub fn bne(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
-        self.items.push(Item::Branch(BranchKind::Ne, rs1, rs2, target));
+        self.items
+            .push(Item::Branch(BranchKind::Ne, rs1, rs2, target));
         self
     }
     /// Branch if signed less-than.
     pub fn blt(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
-        self.items.push(Item::Branch(BranchKind::Lt, rs1, rs2, target));
+        self.items
+            .push(Item::Branch(BranchKind::Lt, rs1, rs2, target));
         self
     }
     /// Branch if signed greater-or-equal.
     pub fn bge(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
-        self.items.push(Item::Branch(BranchKind::Ge, rs1, rs2, target));
+        self.items
+            .push(Item::Branch(BranchKind::Ge, rs1, rs2, target));
         self
     }
     /// Branch if unsigned less-than.

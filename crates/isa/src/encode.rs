@@ -267,120 +267,211 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sofi_rng::{DefaultRng, Rng};
 
-    fn any_reg() -> impl Strategy<Value = Reg> {
-        (0usize..16).prop_map(|i| Reg::from_index(i).unwrap())
+    fn any_reg(rng: &mut impl Rng) -> Reg {
+        Reg::from_index(rng.gen_range(0usize..16)).unwrap()
     }
 
-    fn any_width() -> impl Strategy<Value = MemWidth> {
-        prop_oneof![
-            Just(MemWidth::Byte),
-            Just(MemWidth::Half),
-            Just(MemWidth::Word)
-        ]
+    fn any_width(rng: &mut impl Rng) -> MemWidth {
+        match rng.gen_range(0u32..3) {
+            0 => MemWidth::Byte,
+            1 => MemWidth::Half,
+            _ => MemWidth::Word,
+        }
     }
 
-    fn any_branch_kind() -> impl Strategy<Value = BranchKind> {
-        prop_oneof![
-            Just(BranchKind::Eq),
-            Just(BranchKind::Ne),
-            Just(BranchKind::Lt),
-            Just(BranchKind::Ge),
-            Just(BranchKind::Ltu),
-            Just(BranchKind::Geu),
-        ]
+    fn any_branch_kind(rng: &mut impl Rng) -> BranchKind {
+        match rng.gen_range(0u32..6) {
+            0 => BranchKind::Eq,
+            1 => BranchKind::Ne,
+            2 => BranchKind::Lt,
+            3 => BranchKind::Ge,
+            4 => BranchKind::Ltu,
+            _ => BranchKind::Geu,
+        }
     }
 
-    /// Strategy generating every instruction form with arbitrary operands.
-    pub(crate) fn any_inst() -> impl Strategy<Value = Inst> {
-        let r3 = || (any_reg(), any_reg(), any_reg());
-        prop_oneof![
-            r3().prop_map(|(rd, rs1, rs2)| Inst::Add { rd, rs1, rs2 }),
-            r3().prop_map(|(rd, rs1, rs2)| Inst::Sub { rd, rs1, rs2 }),
-            r3().prop_map(|(rd, rs1, rs2)| Inst::And { rd, rs1, rs2 }),
-            r3().prop_map(|(rd, rs1, rs2)| Inst::Or { rd, rs1, rs2 }),
-            r3().prop_map(|(rd, rs1, rs2)| Inst::Xor { rd, rs1, rs2 }),
-            r3().prop_map(|(rd, rs1, rs2)| Inst::Sll { rd, rs1, rs2 }),
-            r3().prop_map(|(rd, rs1, rs2)| Inst::Srl { rd, rs1, rs2 }),
-            r3().prop_map(|(rd, rs1, rs2)| Inst::Sra { rd, rs1, rs2 }),
-            r3().prop_map(|(rd, rs1, rs2)| Inst::Slt { rd, rs1, rs2 }),
-            r3().prop_map(|(rd, rs1, rs2)| Inst::Sltu { rd, rs1, rs2 }),
-            r3().prop_map(|(rd, rs1, rs2)| Inst::Mul { rd, rs1, rs2 }),
-            (any_reg(), any_reg(), any::<i16>())
-                .prop_map(|(rd, rs1, imm)| Inst::Addi { rd, rs1, imm }),
-            (any_reg(), any_reg(), any::<i16>())
-                .prop_map(|(rd, rs1, imm)| Inst::Andi { rd, rs1, imm }),
-            (any_reg(), any_reg(), any::<i16>())
-                .prop_map(|(rd, rs1, imm)| Inst::Ori { rd, rs1, imm }),
-            (any_reg(), any_reg(), any::<i16>())
-                .prop_map(|(rd, rs1, imm)| Inst::Xori { rd, rs1, imm }),
-            (any_reg(), any_reg(), any::<i16>())
-                .prop_map(|(rd, rs1, imm)| Inst::Slti { rd, rs1, imm }),
-            (any_reg(), any_reg(), 0u8..32)
-                .prop_map(|(rd, rs1, shamt)| Inst::Slli { rd, rs1, shamt }),
-            (any_reg(), any_reg(), 0u8..32)
-                .prop_map(|(rd, rs1, shamt)| Inst::Srli { rd, rs1, shamt }),
-            (any_reg(), any_reg(), 0u8..32)
-                .prop_map(|(rd, rs1, shamt)| Inst::Srai { rd, rs1, shamt }),
-            (any_reg(), any::<u16>()).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
-            (any_reg(), any_reg(), any::<i16>(), any_width(), any::<bool>()).prop_map(
-                |(rd, base, offset, width, signed)| Inst::Load {
-                    rd,
-                    base,
-                    offset,
+    fn any_i16(rng: &mut impl Rng) -> i16 {
+        rng.next_u64() as i16
+    }
+
+    /// Generates every instruction form with arbitrary operands
+    /// (deterministic counterpart of the former proptest strategy).
+    pub(crate) fn any_inst(rng: &mut impl Rng) -> Inst {
+        match rng.gen_range(0u32..26) {
+            0 => Inst::Add {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                rs2: any_reg(rng),
+            },
+            1 => Inst::Sub {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                rs2: any_reg(rng),
+            },
+            2 => Inst::And {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                rs2: any_reg(rng),
+            },
+            3 => Inst::Or {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                rs2: any_reg(rng),
+            },
+            4 => Inst::Xor {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                rs2: any_reg(rng),
+            },
+            5 => Inst::Sll {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                rs2: any_reg(rng),
+            },
+            6 => Inst::Srl {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                rs2: any_reg(rng),
+            },
+            7 => Inst::Sra {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                rs2: any_reg(rng),
+            },
+            8 => Inst::Slt {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                rs2: any_reg(rng),
+            },
+            9 => Inst::Sltu {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                rs2: any_reg(rng),
+            },
+            10 => Inst::Mul {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                rs2: any_reg(rng),
+            },
+            11 => Inst::Addi {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                imm: any_i16(rng),
+            },
+            12 => Inst::Andi {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                imm: any_i16(rng),
+            },
+            13 => Inst::Ori {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                imm: any_i16(rng),
+            },
+            14 => Inst::Xori {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                imm: any_i16(rng),
+            },
+            15 => Inst::Slti {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                imm: any_i16(rng),
+            },
+            16 => Inst::Slli {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                shamt: rng.gen_range(0u8..32),
+            },
+            17 => Inst::Srli {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                shamt: rng.gen_range(0u8..32),
+            },
+            18 => Inst::Srai {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                shamt: rng.gen_range(0u8..32),
+            },
+            19 => Inst::Lui {
+                rd: any_reg(rng),
+                imm: rng.next_u64() as u16,
+            },
+            20 => {
+                let width = any_width(rng);
+                Inst::Load {
+                    rd: any_reg(rng),
+                    base: any_reg(rng),
+                    offset: any_i16(rng),
                     width,
                     // Word loads are always "signed" canonically.
-                    signed: signed || width == MemWidth::Word,
+                    signed: rng.gen_bool(0.5) || width == MemWidth::Word,
                 }
-            ),
-            (any_reg(), any_reg(), any::<i16>(), any_width()).prop_map(
-                |(rs, base, offset, width)| Inst::Store {
-                    rs,
-                    base,
-                    offset,
-                    width
-                }
-            ),
-            (
-                any_branch_kind(),
-                any_reg(),
-                any_reg(),
-                (BRANCH_MIN as i16)..=(BRANCH_MAX as i16)
-            )
-                .prop_map(|(kind, rs1, rs2, offset)| Inst::Branch {
-                    kind,
-                    rs1,
-                    rs2,
-                    offset
-                }),
-            (any_reg(), 0u32..=JAL_MAX).prop_map(|(rd, target)| Inst::Jal { rd, target }),
-            (any_reg(), any_reg(), any::<i16>())
-                .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
-            any::<u16>().prop_map(|code| Inst::Halt { code }),
-        ]
+            }
+            21 => Inst::Store {
+                rs: any_reg(rng),
+                base: any_reg(rng),
+                offset: any_i16(rng),
+                width: any_width(rng),
+            },
+            22 => Inst::Branch {
+                kind: any_branch_kind(rng),
+                rs1: any_reg(rng),
+                rs2: any_reg(rng),
+                offset: rng.gen_range(BRANCH_MIN as i16..BRANCH_MAX as i16 + 1),
+            },
+            23 => Inst::Jal {
+                rd: any_reg(rng),
+                target: rng.gen_range(0u32..JAL_MAX + 1),
+            },
+            24 => Inst::Jalr {
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                offset: any_i16(rng),
+            },
+            _ => Inst::Halt {
+                code: rng.next_u64() as u16,
+            },
+        }
     }
 
-    proptest! {
-        #[test]
-        fn encode_decode_round_trip(inst in any_inst()) {
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut rng = DefaultRng::seed_from_u64(0xE4C0DE);
+        for _ in 0..2048 {
+            let inst = any_inst(&mut rng);
             let word = encode(inst);
             let back = decode(word).unwrap();
-            prop_assert_eq!(back, inst);
+            assert_eq!(back, inst, "word {word:#010x}");
         }
+    }
 
-        #[test]
-        fn decode_never_panics(word in any::<u32>()) {
-            let _ = decode(word);
+    #[test]
+    fn decode_never_panics() {
+        let mut rng = DefaultRng::seed_from_u64(0xDEC0DE);
+        for _ in 0..8192 {
+            let _ = decode(rng.next_u64() as u32);
         }
+        // Every opcode value, with extreme operand bit patterns.
+        for opcode in 0u32..64 {
+            for low in [0u32, 1, 0x03FF_FFFF, 0x02AA_AAAA, 0x0155_5555] {
+                let _ = decode((opcode << 26) | low);
+            }
+        }
+    }
 
-        #[test]
-        fn decode_encode_stable(word in any::<u32>()) {
-            // Any successfully decoded word re-encodes to something that
-            // decodes to the same instruction (canonicalization is stable).
+    #[test]
+    fn decode_encode_stable() {
+        // Any successfully decoded word re-encodes to something that
+        // decodes to the same instruction (canonicalization is stable).
+        let mut rng = DefaultRng::seed_from_u64(0x57AB1E);
+        for _ in 0..8192 {
+            let word = rng.next_u64() as u32;
             if let Ok(inst) = decode(word) {
                 let canon = encode(inst);
-                prop_assert_eq!(decode(canon).unwrap(), inst);
+                assert_eq!(decode(canon).unwrap(), inst, "word {word:#010x}");
             }
         }
     }

@@ -4,7 +4,8 @@ use crate::Reg;
 use std::fmt;
 
 /// Width of a memory access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MemWidth {
     /// One byte.
     Byte,
@@ -131,7 +132,8 @@ impl Opcode {
 /// Every instruction executes in exactly one CPU cycle (paper §II-C).
 /// Branch offsets are in *instructions* relative to the next instruction;
 /// `Jal` targets are absolute instruction indices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[allow(missing_docs)] // operand fields follow the conventional rd/rs/imm names
 pub enum Inst {
     /// `rd = rs1 + rs2` (wrapping).
@@ -213,7 +215,8 @@ pub enum Inst {
 }
 
 /// Branch comparison kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BranchKind {
     /// `rs1 == rs2`
     Eq,

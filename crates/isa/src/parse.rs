@@ -68,14 +68,13 @@ pub fn assemble_text(name: &str, source: &str) -> Result<Program, AsmError> {
             Some(("data", _)) => section = Section::Data,
             Some(("text", _)) => section = Section::Text,
             Some(("ram", arg)) => {
-                let bytes = parse_imm_str(arg, &HashMap::new())
-                    .map_err(|msg| perr(lineno, msg))? as u32;
+                let bytes =
+                    parse_imm_str(arg, &HashMap::new()).map_err(|msg| perr(lineno, msg))? as u32;
                 asm.set_ram_size(bytes);
             }
             Some(("align", arg)) => {
                 if section == Section::Data {
-                    let n =
-                        parse_imm_str(arg, &HashMap::new()).map_err(|msg| perr(lineno, msg))?;
+                    let n = parse_imm_str(arg, &HashMap::new()).map_err(|msg| perr(lineno, msg))?;
                     asm.data_align(n as u32);
                 }
             }
@@ -172,7 +171,9 @@ fn directive(line: &str) -> Option<(&str, &str)> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -242,7 +243,10 @@ fn parse_imm_str(s: &str, syms: &HashMap<String, u32>) -> Result<i64, String> {
         return Ok(c as i64);
     }
     // symbol, symbol+imm, symbol-imm
-    if s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') {
+    if s.chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+    {
         let (sym, delta) = if let Some(plus) = s.find('+') {
             (&s[..plus], parse_imm_str(&s[plus + 1..], syms)?)
         } else if let Some(minus) = s.find('-') {

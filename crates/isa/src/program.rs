@@ -1,7 +1,6 @@
 //! Linked programs: instruction ROM plus initial RAM image.
 
 use crate::inst::Inst;
-use serde::{Deserialize, Serialize};
 
 /// A fix-up record for an immediate that materializes a *code* address
 /// (an instruction index) into a register.
@@ -14,7 +13,8 @@ use serde::{Deserialize, Serialize};
 /// stored into a task control block) is invisible to a naive shifter.
 /// [`crate::Asm::li_code`] therefore records one of these so
 /// [`Program::prepend_insts`] can relocate it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CodeImmFixup {
     /// Index of the instruction carrying the immediate: an `Addi` (small
     /// target) or a `Lui` whose partner `Ori` is at `lo_idx`.
@@ -41,7 +41,8 @@ pub struct CodeImmFixup {
 /// assert_eq!(p.insts.len(), 2);
 /// assert_eq!(p.ram_size, 0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Program {
     /// Human-readable program name (used in reports).
     pub name: String,
@@ -127,7 +128,10 @@ impl Program {
             match fix.lo_idx {
                 None => match &mut self.insts[fix.inst_idx] {
                     Inst::Addi { imm, .. } => {
-                        assert!(target <= i16::MAX as u32, "li_code target grew past addi range");
+                        assert!(
+                            target <= i16::MAX as u32,
+                            "li_code target grew past addi range"
+                        );
                         *imm = target as i16;
                     }
                     other => panic!("code fixup expected addi, found {other}"),
@@ -212,9 +216,23 @@ mod tests {
         a.halt(0);
         let mut p = a.build().unwrap();
         // Target was instruction index 1 (the halt).
-        assert_eq!(p.insts[0], Inst::Addi { rd: Reg::R1, rs1: Reg::R0, imm: 1 });
+        assert_eq!(
+            p.insts[0],
+            Inst::Addi {
+                rd: Reg::R1,
+                rs1: Reg::R0,
+                imm: 1
+            }
+        );
         p.prepend_insts(vec![Inst::NOP; 3]);
-        assert_eq!(p.insts[3], Inst::Addi { rd: Reg::R1, rs1: Reg::R0, imm: 4 });
+        assert_eq!(
+            p.insts[3],
+            Inst::Addi {
+                rd: Reg::R1,
+                rs1: Reg::R0,
+                imm: 4
+            }
+        );
     }
 
     #[test]

@@ -16,7 +16,8 @@ use std::sync::Arc;
 /// inputs "are replayed at the exact same point in time during each run" —
 /// so benchmarks with asynchronous input stay bit-for-bit deterministic
 /// and fault-injection campaigns over them remain valid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExternalEvent {
     /// The cycle at whose start the value becomes visible (1-based; the
     /// instruction executing in this cycle already reads the new value).

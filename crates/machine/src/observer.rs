@@ -7,10 +7,10 @@
 //! to nothing.
 
 use sofi_isa::{MemWidth, Reg};
-use serde::{Deserialize, Serialize};
 
 /// Direction of a memory access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AccessKind {
     /// A load ("use" in def/use terms).
     Read,
@@ -20,7 +20,8 @@ pub enum AccessKind {
 
 /// One RAM access in a program run. MMIO accesses are *not* reported: the
 /// device page is outside the fault space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemAccess {
     /// Cycle of the access (1-based: the n-th executed instruction runs in
     /// cycle n).
@@ -44,7 +45,8 @@ impl MemAccess {
 
 /// One register-file access in a program run. The zero register is never
 /// reported (it is hard-wired and fault-immune).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RegAccess {
     /// Cycle of the access (1-based).
     pub cycle: u64,
@@ -137,7 +139,10 @@ mod tests {
             width: MemWidth::Half,
             kind: AccessKind::Read,
         };
-        assert_eq!(a.bits().collect::<Vec<_>>(), vec![16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31]);
+        assert_eq!(
+            a.bits().collect::<Vec<_>>(),
+            vec![16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31]
+        );
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Execution status types.
 
 use crate::trap::Trap;
-use serde::{Deserialize, Serialize};
 
 /// Result of a single [`crate::Machine::step`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,7 +17,8 @@ pub enum StepResult {
 }
 
 /// Result of running a machine until completion or a cycle limit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RunStatus {
     /// The program finished (explicit `halt` or fell off the end of ROM).
     Halted {

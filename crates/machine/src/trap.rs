@@ -9,7 +9,8 @@ use std::fmt;
 /// In a fault-injection experiment a trap is a *failure mode*: the injected
 /// bit-flip propagated into an address or control-flow value the hardware
 /// rejects (the "CPU exceptions" outcome monitored in §II-D of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Trap {
     /// A data access was not naturally aligned.
     Misaligned {

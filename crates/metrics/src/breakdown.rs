@@ -8,12 +8,12 @@
 //! exactly that, for full scans and for samples.
 
 use crate::confidence::wilson_interval;
-use serde::{Deserialize, Serialize};
 use sofi_campaign::{CampaignResult, Outcome, SampledResult};
 
 /// Weighted (or extrapolated) counts per detailed outcome kind, indexed
 /// as [`Outcome::KINDS`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OutcomeBreakdown {
     /// Count (exact weight or extrapolated estimate) per outcome kind.
     pub counts: [f64; 8],
@@ -95,10 +95,9 @@ pub fn sampled_breakdown(sampled: &SampledResult, confidence: f64) -> OutcomeBre
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use sofi_campaign::{Campaign, SamplingMode};
     use sofi_isa::{Asm, Reg};
+    use sofi_rng::DefaultRng;
 
     /// A program with several distinct failure modes: SDC (buffer byte),
     /// CPU exception / timeout (pointer and counter words).
@@ -136,7 +135,7 @@ mod tests {
     fn sampled_breakdown_matches_exact_per_kind() {
         let c = Campaign::new(&multi_mode_program()).unwrap();
         let exact = outcome_breakdown(&c.run_full_defuse());
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DefaultRng::seed_from_u64(3);
         let s = c.run_sampled(40_000, SamplingMode::UniformRaw, &mut rng);
         let est = sampled_breakdown(&s, 0.99);
         for i in 0..8 {

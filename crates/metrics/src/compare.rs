@@ -14,12 +14,12 @@
 
 use crate::coverage::{fault_coverage, Weighting};
 use crate::failure::FailureEstimate;
-use serde::{Deserialize, Serialize};
 use sofi_campaign::CampaignResult;
 use std::fmt;
 
 /// Result of comparing a hardened variant against its baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Comparison {
     /// The ratio `r = F_hardened / F_baseline`.
     pub ratio: f64,
@@ -81,7 +81,10 @@ pub fn compare_failures(baseline: &FailureEstimate, hardened: &FailureEstimate) 
     } else {
         f64::INFINITY
     };
-    Comparison { ratio, ci: (lo, hi) }
+    Comparison {
+        ratio,
+        ci: (lo, hi),
+    }
 }
 
 /// **The defective comparison of §IV** — compares fault coverages and

@@ -89,7 +89,7 @@ pub fn normal_quantile(p: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sofi_rng::{DefaultRng, Rng};
 
     #[test]
     fn quantile_known_values() {
@@ -118,23 +118,33 @@ mod tests {
         assert!(hi2 - lo2 < hi1 - lo1);
     }
 
-    proptest! {
-        #[test]
-        fn interval_is_ordered_and_bounded(s in 0u64..1_000, extra in 0u64..1_000, c in 0.5f64..0.999) {
-            let n = s + extra + 1;
+    #[test]
+    fn interval_is_ordered_and_bounded() {
+        let mut rng = DefaultRng::seed_from_u64(0x417);
+        for _ in 0..512 {
+            let s = rng.gen_range(0u64..1_000);
+            let n = s + rng.gen_range(0u64..1_000) + 1;
+            let c = 0.5 + 0.499 * rng.next_f64();
             let (lo, hi) = wilson_interval(s, n, c);
-            prop_assert!((0.0..=1.0).contains(&lo));
-            prop_assert!((0.0..=1.0).contains(&hi));
-            prop_assert!(lo <= hi);
+            assert!((0.0..=1.0).contains(&lo), "lo {lo} for ({s}, {n}, {c})");
+            assert!((0.0..=1.0).contains(&hi), "hi {hi} for ({s}, {n}, {c})");
+            assert!(lo <= hi);
             let p = s as f64 / n as f64;
-            prop_assert!(lo <= p + 1e-12 && p - 1e-12 <= hi);
+            assert!(lo <= p + 1e-12 && p - 1e-12 <= hi);
         }
+    }
 
-        #[test]
-        fn quantile_is_monotonic(a in 0.001f64..0.999, b in 0.001f64..0.999) {
-            if a < b {
-                prop_assert!(normal_quantile(a) <= normal_quantile(b));
-            }
+    #[test]
+    fn quantile_is_monotonic() {
+        let mut rng = DefaultRng::seed_from_u64(0x418);
+        for _ in 0..512 {
+            let a = 0.001 + 0.998 * rng.next_f64();
+            let b = 0.001 + 0.998 * rng.next_f64();
+            let (a, b) = if a < b { (a, b) } else { (b, a) };
+            assert!(
+                normal_quantile(a) <= normal_quantile(b),
+                "quantile not monotonic between {a} and {b}"
+            );
         }
     }
 

@@ -199,9 +199,6 @@ mod tests {
         let r = result_with(vec![(5, Outcome::DetectedCorrected)], 0);
         assert_eq!(fault_coverage(&r, Weighting::Weighted), 1.0);
         // Sanity: failure outcomes are the complement.
-        assert_eq!(
-            r.count_weighted(|o| o.class() == OutcomeClass::Failure),
-            0
-        );
+        assert_eq!(r.count_weighted(|o| o.class() == OutcomeClass::Failure), 0);
     }
 }

@@ -10,10 +10,10 @@
 
 use crate::confidence::wilson_interval;
 use sofi_campaign::{CampaignResult, SampledResult};
-use serde::{Deserialize, Serialize};
 
 /// An absolute failure count, exact or estimated.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FailureEstimate {
     /// The failure count `F` (extrapolated to the population for sampled
     /// campaigns).
@@ -86,9 +86,8 @@ pub fn extrapolated_failures(sampled: &SampledResult, confidence: f64) -> Failur
 mod tests {
     use super::*;
     use sofi_campaign::{Campaign, SamplingMode};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use sofi_isa::{Asm, Reg};
+    use sofi_rng::DefaultRng;
 
     fn hi_campaign() -> Campaign {
         let mut a = Asm::with_name("hi");
@@ -108,7 +107,7 @@ mod tests {
     fn raw_space_extrapolation_recovers_exact_f() {
         let c = hi_campaign();
         let exact = exact_failures(&c.run_full_defuse());
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = DefaultRng::seed_from_u64(21);
         let s = c.run_sampled(40_000, SamplingMode::UniformRaw, &mut rng);
         let est = extrapolated_failures(&s, 0.95);
         assert!(!est.exact);
@@ -125,7 +124,7 @@ mod tests {
     fn weighted_class_extrapolation_recovers_exact_f() {
         let c = hi_campaign();
         let exact = exact_failures(&c.run_full_defuse());
-        let mut rng = StdRng::seed_from_u64(22);
+        let mut rng = DefaultRng::seed_from_u64(22);
         let s = c.run_sampled(5_000, SamplingMode::WeightedClasses, &mut rng);
         let est = extrapolated_failures(&s, 0.95);
         // Every "hi" class fails, so the w'-restricted estimate is exact.
@@ -137,8 +136,16 @@ mod tests {
         // Pitfall 3 Corollary 2: the raw F_sampled depends on N_sampled,
         // the extrapolated value does not.
         let c = hi_campaign();
-        let s_small = c.run_sampled(1_000, SamplingMode::UniformRaw, &mut StdRng::seed_from_u64(1));
-        let s_big = c.run_sampled(32_000, SamplingMode::UniformRaw, &mut StdRng::seed_from_u64(2));
+        let s_small = c.run_sampled(
+            1_000,
+            SamplingMode::UniformRaw,
+            &mut DefaultRng::seed_from_u64(1),
+        );
+        let s_big = c.run_sampled(
+            32_000,
+            SamplingMode::UniformRaw,
+            &mut DefaultRng::seed_from_u64(2),
+        );
         // Raw counts differ by ~32×…
         assert!(s_big.failure_hits() > s_small.failure_hits() * 20);
         // …extrapolated counts agree.

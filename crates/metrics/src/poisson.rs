@@ -12,15 +12,14 @@
 //! single-fault-per-experiment methodology: `P(k ≥ 2)` is negligible
 //! relative to `P(1)`.
 
-use serde::{Deserialize, Serialize};
-
 /// Published DRAM soft-error rates in FIT/Mbit the paper averages:
 /// 0.061 \[Sridharan & Liberty], 0.066 \[Sridharan et al.], 0.044
 /// \[the 2013 large-scale field study].
 pub const DRAM_FIT_RATES: [f64; 3] = [0.061, 0.066, 0.044];
 
 /// Mean of [`DRAM_FIT_RATES`]: 0.057 FIT/Mbit, the paper's working value.
-pub const MEAN_FIT_PER_MBIT: f64 = (DRAM_FIT_RATES[0] + DRAM_FIT_RATES[1] + DRAM_FIT_RATES[2]) / 3.0;
+pub const MEAN_FIT_PER_MBIT: f64 =
+    (DRAM_FIT_RATES[0] + DRAM_FIT_RATES[1] + DRAM_FIT_RATES[2]) / 3.0;
 
 /// Converts a FIT/Mbit rate into the per-bit per-nanosecond rate `g`
 /// (1 FIT = one failure per 10⁹ hours; 1 Mbit = 10⁶ bits).
@@ -40,7 +39,8 @@ pub fn fit_per_mbit_to_per_bit_ns(fit_per_mbit: f64) -> f64 {
 }
 
 /// The Poisson fault-occurrence model for one benchmark run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PoissonModel {
     /// Per-bit per-cycle fault rate `g` (the simplistic CPU runs at
     /// 1 GHz, so cycles and nanoseconds coincide).
@@ -96,7 +96,8 @@ pub fn poisson_pmf(k: u32, lambda: f64) -> f64 {
 }
 
 /// One row of Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Table1Row {
     /// Fault count `k`.
     pub k: u32,

@@ -24,7 +24,10 @@ pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
     let max = rows
         .iter()
         .map(|(_, v)| {
-            assert!(v.is_finite() && *v >= 0.0, "bar values must be finite and non-negative");
+            assert!(
+                v.is_finite() && *v >= 0.0,
+                "bar values must be finite and non-negative"
+            );
             *v
         })
         .fold(0.0f64, f64::max);
@@ -36,11 +39,7 @@ pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
         } else {
             0
         };
-        let _ = writeln!(
-            out,
-            "{label:<label_w$} |{} {value}",
-            "#".repeat(bar_len),
-        );
+        let _ = writeln!(out, "{label:<label_w$} |{} {value}", "#".repeat(bar_len),);
     }
     out
 }

@@ -162,7 +162,7 @@ mod tests {
         let art = fault_space_diagram(&d).unwrap();
         let lines: Vec<&str> = art.lines().collect();
         assert_eq!(lines.len(), 16 + 2); // 16 bit rows + axis + caption
-        // Byte 0, bit 0: benign, W@2, class cycles 3-4, R@5, benign 6-8.
+                                         // Byte 0, bit 0: benign, W@2, class cycles 3-4, R@5, benign 6-8.
         assert_eq!(lines[0], "bit   0 |.W==R...");
         // Byte 1, bit 0: W@4, class 5-6, R@7.
         assert_eq!(lines[8], "bit   8 |...W==R.");

@@ -16,12 +16,12 @@
 //! Pitfall 1 requires every result to be weighted with.
 
 use crate::coord::{FaultCoord, FaultSpace};
-use serde::{Deserialize, Serialize};
 use sofi_machine::AccessKind;
 use sofi_trace::{GoldenRun, Timelines};
 
 /// How an equivalence class's outcome is obtained.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ClassKind {
     /// The class ends with a read: one FI experiment (at the read cycle)
     /// determines the outcome of every coordinate in the class.
@@ -33,7 +33,8 @@ pub enum ClassKind {
 
 /// One def/use equivalence class: the coordinates
 /// `(first_cycle..=last_cycle) × {bit}`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EquivClass {
     /// The memory bit this class lives on.
     pub bit: u64,
@@ -69,14 +70,16 @@ impl EquivClass {
 }
 
 /// Distribution of data lifetimes (experiment-class sizes).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LifetimeStats {
     /// Number of experiment classes.
     pub classes: u64,
     /// Shortest lifetime (cycles).
     pub min: u64,
-    /// Median lifetime.
-    pub median: u64,
+    /// Median lifetime (midpoint of the two middle elements for
+    /// even-sized populations).
+    pub median: f64,
     /// Longest lifetime.
     pub max: u64,
     /// Mean lifetime.
@@ -89,7 +92,8 @@ pub struct LifetimeStats {
 }
 
 /// Complete def/use partitioning of a benchmark's fault space.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DefUseAnalysis {
     /// The fault space being partitioned.
     pub space: FaultSpace,
@@ -171,39 +175,7 @@ impl DefUseAnalysis {
     /// The larger the spread, the larger the bias of unweighted
     /// accounting (§III-D).
     pub fn lifetime_stats(&self) -> LifetimeStats {
-        let mut weights: Vec<u64> = self
-            .experiment_classes()
-            .map(EquivClass::weight)
-            .collect();
-        weights.sort_unstable();
-        if weights.is_empty() {
-            return LifetimeStats::default();
-        }
-        let n = weights.len();
-        let total: u64 = weights.iter().sum();
-        let mean = total as f64 / n as f64;
-        let variance = weights
-            .iter()
-            .map(|&w| {
-                let d = w as f64 - mean;
-                d * d
-            })
-            .sum::<f64>()
-            / n as f64;
-        let mut histogram = [0u64; 24];
-        for &w in &weights {
-            let bucket = (63 - w.leading_zeros() as usize).min(23);
-            histogram[bucket] += 1;
-        }
-        LifetimeStats {
-            classes: n as u64,
-            min: weights[0],
-            median: weights[n / 2],
-            max: weights[n - 1],
-            mean,
-            std_dev: variance.sqrt(),
-            histogram,
-        }
+        lifetime_stats_of(self.experiment_classes().map(EquivClass::weight).collect())
     }
 
     /// Checks the partition invariant: class weights sum to `w` and classes
@@ -215,7 +187,8 @@ impl DefUseAnalysis {
             return false;
         }
         // Per-bit tiling check.
-        let mut next_expected: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut next_expected: std::collections::HashMap<u64, u64> =
+            std::collections::HashMap::new();
         for c in &self.classes {
             let expected = next_expected.entry(c.bit).or_insert(1);
             if c.first_cycle != *expected || c.last_cycle > self.space.cycles {
@@ -227,6 +200,41 @@ impl DefUseAnalysis {
             .values()
             .all(|&next| next == self.space.cycles + 1)
             && next_expected.len() as u64 == self.space.bits
+    }
+}
+
+/// [`LifetimeStats`] over a raw multiset of lifetimes.
+fn lifetime_stats_of(mut weights: Vec<u64>) -> LifetimeStats {
+    weights.sort_unstable();
+    if weights.is_empty() {
+        return LifetimeStats::default();
+    }
+    let n = weights.len();
+    let total: u64 = weights.iter().sum();
+    let mean = total as f64 / n as f64;
+    let variance = weights
+        .iter()
+        .map(|&w| {
+            let d = w as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n as f64;
+    let mut histogram = [0u64; 24];
+    for &w in &weights {
+        let bucket = (63 - w.leading_zeros() as usize).min(23);
+        histogram[bucket] += 1;
+    }
+    LifetimeStats {
+        classes: n as u64,
+        min: weights[0],
+        // Conventional midpoint: for odd n both indices coincide; for
+        // even n this averages the two middle elements.
+        median: (weights[(n - 1) / 2] + weights[n / 2]) as f64 / 2.0,
+        max: weights[n - 1],
+        mean,
+        std_dev: variance.sqrt(),
+        histogram,
     }
 }
 
@@ -358,12 +366,29 @@ mod tests {
         });
         let s = d.lifetime_stats();
         assert_eq!(s.classes, 16);
-        assert_eq!((s.min, s.median, s.max), (3, 3, 3));
+        assert_eq!((s.min, s.max), (3, 3));
+        assert_eq!(s.median, 3.0);
         assert_eq!(s.mean, 3.0);
         assert_eq!(s.std_dev, 0.0);
         // All lifetimes land in the [2, 4) bucket.
         assert_eq!(s.histogram[1], 16);
         assert_eq!(s.histogram.iter().sum::<u64>(), 16);
+    }
+
+    #[test]
+    fn median_is_the_conventional_midpoint() {
+        // Odd count: the middle element.
+        let odd = lifetime_stats_of(vec![9, 1, 5]);
+        assert_eq!(odd.median, 5.0);
+        // Even count: the mean of the two middle elements, not the
+        // upper-middle one.
+        let even = lifetime_stats_of(vec![8, 1, 2, 100]);
+        assert_eq!(even.median, 5.0);
+        let even = lifetime_stats_of(vec![3, 4]);
+        assert_eq!(even.median, 3.5);
+        // Degenerate cases.
+        assert_eq!(lifetime_stats_of(vec![7]).median, 7.0);
+        assert_eq!(lifetime_stats_of(Vec::new()).median, 0.0);
     }
 
     #[test]

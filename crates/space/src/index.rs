@@ -61,12 +61,12 @@ impl ClassIndex {
     /// Panics if `plan` was built from a different analysis (an experiment
     /// class has no matching plan entry).
     pub fn new(analysis: &DefUseAnalysis, plan: &InjectionPlan) -> ClassIndex {
-        let mut id_by_coord: HashMap<(u64, u64), u32> = HashMap::with_capacity(plan.experiments.len());
+        let mut id_by_coord: HashMap<(u64, u64), u32> =
+            HashMap::with_capacity(plan.experiments.len());
         for e in &plan.experiments {
             id_by_coord.insert((e.coord.bit, e.coord.cycle), e.id);
         }
-        let mut per_bit: Vec<Vec<(u64, ClassRef)>> =
-            vec![Vec::new(); analysis.space.bits as usize];
+        let mut per_bit: Vec<Vec<(u64, ClassRef)>> = vec![Vec::new(); analysis.space.bits as usize];
         for class in &analysis.classes {
             let r = match class.kind {
                 ClassKind::Experiment => {
@@ -137,7 +137,9 @@ mod tests {
         let FaultSpace { cycles, bits } = analysis.space;
         for cycle in 1..=cycles {
             for bit in 0..bits {
-                *hits.entry(index.lookup(FaultCoord { cycle, bit })).or_default() += 1;
+                *hits
+                    .entry(index.lookup(FaultCoord { cycle, bit }))
+                    .or_default() += 1;
             }
         }
         for e in &plan.experiments {

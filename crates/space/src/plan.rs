@@ -2,11 +2,11 @@
 
 use crate::coord::{FaultCoord, FaultSpace};
 use crate::defuse::{ClassKind, DefUseAnalysis, EquivClass};
-use serde::{Deserialize, Serialize};
 
 /// One planned FI experiment: the representative injection of a def/use
 /// equivalence class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Experiment {
     /// Stable identifier (index into the plan).
     pub id: u32,
@@ -39,7 +39,8 @@ pub struct Experiment {
 /// assert_eq!(plan.total_weight(), 8);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct InjectionPlan {
     /// The fault space the plan covers.
     pub space: FaultSpace,

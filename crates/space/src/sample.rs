@@ -20,7 +20,7 @@
 use crate::coord::{FaultCoord, FaultSpace};
 use crate::index::{ClassIndex, ClassRef};
 use crate::plan::InjectionPlan;
-use rand::Rng;
+use sofi_rng::Rng;
 use std::collections::HashMap;
 
 /// A batch of raw-fault-space sample draws resolved to their classes.
@@ -92,9 +92,7 @@ pub fn draw_weighted_experiments<R: Rng + ?Sized>(
     for _ in 0..n {
         let x = rng.gen_range(0..total);
         let pos = cum.partition_point(|&c| c <= x);
-        *experiment_hits
-            .entry(plan.experiments[pos].id)
-            .or_default() += 1;
+        *experiment_hits.entry(plan.experiments[pos].id).or_default() += 1;
     }
     SampleBatch {
         draws: n,
@@ -119,9 +117,7 @@ pub fn draw_biased_per_class<R: Rng + ?Sized>(
     let mut experiment_hits: HashMap<u32, u64> = HashMap::new();
     for _ in 0..n {
         let pos = rng.gen_range(0..plan.experiments.len());
-        *experiment_hits
-            .entry(plan.experiments[pos].id)
-            .or_default() += 1;
+        *experiment_hits.entry(plan.experiments[pos].id).or_default() += 1;
     }
     SampleBatch {
         draws: n,
@@ -134,9 +130,8 @@ pub fn draw_biased_per_class<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::defuse::DefUseAnalysis;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use sofi_isa::{Asm, Reg};
+    use sofi_rng::DefaultRng;
     use sofi_trace::GoldenRun;
 
     fn fixture() -> (DefUseAnalysis, InjectionPlan, ClassIndex) {
@@ -161,7 +156,7 @@ mod tests {
     #[test]
     fn uniform_draws_stay_in_space() {
         let (analysis, _, _) = fixture();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DefaultRng::seed_from_u64(1);
         for c in draw_uniform(analysis.space, 1_000, &mut rng) {
             assert!(analysis.space.contains(c));
         }
@@ -170,7 +165,7 @@ mod tests {
     #[test]
     fn resolve_accounts_every_draw() {
         let (analysis, _, index) = fixture();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = DefaultRng::seed_from_u64(2);
         let coords = draw_uniform(analysis.space, 5_000, &mut rng);
         let batch = resolve_draws(&coords, &index);
         let exp_total: u64 = batch.experiment_hits.values().sum();
@@ -181,7 +176,7 @@ mod tests {
     #[test]
     fn uniform_hit_rates_follow_weights() {
         let (analysis, plan, index) = fixture();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DefaultRng::seed_from_u64(3);
         let n = 200_000;
         let coords = draw_uniform(analysis.space, n, &mut rng);
         let batch = resolve_draws(&coords, &index);
@@ -195,7 +190,7 @@ mod tests {
     #[test]
     fn weighted_sampler_respects_weights() {
         let (_, plan, _) = fixture();
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = DefaultRng::seed_from_u64(4);
         let n = 100_000;
         let batch = draw_weighted_experiments(&plan, n, &mut rng);
         // Long-lived classes (weight 12) get ~12× the hits of weight-1 ones.
@@ -215,7 +210,7 @@ mod tests {
     #[test]
     fn biased_sampler_is_uniform_per_class() {
         let (_, plan, _) = fixture();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = DefaultRng::seed_from_u64(5);
         let n = 100_000;
         let batch = draw_biased_per_class(&plan, n, &mut rng);
         let expect = n as f64 / plan.experiments.len() as f64;
@@ -234,7 +229,7 @@ mod tests {
         // The essence of Pitfall 2: with unequal weights the two samplers
         // produce measurably different hit distributions.
         let (_, plan, _) = fixture();
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = DefaultRng::seed_from_u64(6);
         let n = 50_000;
         let biased = draw_biased_per_class(&plan, n, &mut rng);
         let weighted = draw_weighted_experiments(&plan, n, &mut rng);
@@ -257,7 +252,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty fault space")]
     fn sampling_empty_space_panics() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = DefaultRng::seed_from_u64(0);
         draw_uniform(FaultSpace::new(0, 8), 1, &mut rng);
     }
 }

@@ -7,10 +7,10 @@
 
 use crate::golden::GoldenRun;
 use sofi_machine::AccessKind;
-use serde::{Deserialize, Serialize};
 
 /// Aggregate statistics over a golden run's access trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TraceStats {
     /// Runtime in cycles (`Δt`).
     pub cycles: u64,

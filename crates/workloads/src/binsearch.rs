@@ -13,10 +13,7 @@ pub const KEYS: [u8; 6] = [2, 19, 53, 4, 30, 47];
 
 /// Reference: index of `key` in `TABLE` or `0xFF`.
 pub fn binsearch_reference(key: u8) -> u8 {
-    TABLE
-        .binary_search(&key)
-        .map(|i| i as u8)
-        .unwrap_or(0xFF)
+    TABLE.binary_search(&key).map(|i| i as u8).unwrap_or(0xFF)
 }
 
 /// Builds the benchmark: for each key in `KEYS`, binary-search the

@@ -47,6 +47,7 @@ pub use binsearch::{binsearch, binsearch_reference};
 pub use crc32::{crc32, crc32_reference};
 pub use fib::{fib, fib_reference};
 pub use hi::{hi, hi_dft, hi_dft_prime};
+pub use kernel::KernelProtection;
 pub use matmul::{matmul, matmul_reference};
 pub use queue::queue;
 pub use quicksort::quicksort;
@@ -55,7 +56,6 @@ pub use sensor::{sensor, sensor_events, SCHEDULE as SENSOR_SCHEDULE};
 pub use sort::{bubble_sort, bubble_sort_tmr};
 pub use strrev::strrev;
 pub use sync2::{sync2, sync2_param};
-pub use kernel::KernelProtection;
 
 use sofi_isa::Program;
 

@@ -23,7 +23,12 @@ pub fn queue() -> Program {
     let producer = a.new_named_label("producer");
     let consumer = a.new_named_label("consumer");
     let finale = a.new_named_label("finale");
-    let k = Kernel::emit_prologue(&mut a, &[producer, consumer], finale, KernelProtection::None);
+    let k = Kernel::emit_prologue(
+        &mut a,
+        &[producer, consumer],
+        finale,
+        KernelProtection::None,
+    );
 
     // Producer: r4 = items left, r5 = running value.
     a.bind(producer);

@@ -8,9 +8,7 @@
 use sofi_isa::{Asm, Program, Reg};
 
 /// The input to compress (deliberately runny).
-pub const INPUT: [u8; 18] = [
-    7, 7, 7, 7, 1, 1, 9, 9, 9, 9, 9, 9, 4, 2, 2, 2, 8, 8,
-];
+pub const INPUT: [u8; 18] = [7, 7, 7, 7, 1, 1, 9, 9, 9, 9, 9, 9, 4, 2, 2, 2, 8, 8];
 
 /// Builds the RLE round-trip benchmark.
 ///

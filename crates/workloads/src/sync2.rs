@@ -132,25 +132,26 @@ pub fn sync2_param(variant: Variant, scrub_pool: usize) -> Program {
     let k = Kernel::emit_prologue(&mut a, &[ta, tb], finale, protection);
     let mutex = k.declare_sem(&mut a, "mutex", true);
 
-    let emit_round = |a: &mut Asm, k: &Kernel, c_first: usize, d1: i16, c_second: usize, d2: i16| {
-        k.emit_sem_wait(a, mutex);
-        // Hardened: verify the whole protected state on critical-section
-        // entry (the expensive part).
-        for w in &pool {
-            w.emit_scrub(a, Reg::R1, Reg::R2, Reg::R3, Reg::R14);
-        }
-        counters[c_first].emit_add(a, d1);
-        emit_log_append(a, log, pos);
-        counters[c_second].emit_add(a, d2);
-        emit_log_append(a, log, pos);
-        // ...and again on exit, so no corruption survives a critical
-        // section unchecked.
-        for w in &pool {
-            w.emit_scrub(a, Reg::R1, Reg::R2, Reg::R3, Reg::R14);
-        }
-        k.emit_sem_post(a, mutex);
-        k.emit_yield(a);
-    };
+    let emit_round =
+        |a: &mut Asm, k: &Kernel, c_first: usize, d1: i16, c_second: usize, d2: i16| {
+            k.emit_sem_wait(a, mutex);
+            // Hardened: verify the whole protected state on critical-section
+            // entry (the expensive part).
+            for w in &pool {
+                w.emit_scrub(a, Reg::R1, Reg::R2, Reg::R3, Reg::R14);
+            }
+            counters[c_first].emit_add(a, d1);
+            emit_log_append(a, log, pos);
+            counters[c_second].emit_add(a, d2);
+            emit_log_append(a, log, pos);
+            // ...and again on exit, so no corruption survives a critical
+            // section unchecked.
+            for w in &pool {
+                w.emit_scrub(a, Reg::R1, Reg::R2, Reg::R3, Reg::R14);
+            }
+            k.emit_sem_post(a, mutex);
+            k.emit_yield(a);
+        };
 
     // Thread A: counters 0 and 1.
     a.bind(ta);

@@ -29,13 +29,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = hi();
     for program in [
         base.clone(),
-        nop_dilution(&base, 4),    // the paper's DFT
-        hi_dft_prime(4),           // DFT': "activated" faults, same effect
-        nop_dilution(&base, 56),   // dilute harder...
+        nop_dilution(&base, 4),     // the paper's DFT
+        hi_dft_prime(4),            // DFT': "activated" faults, same effect
+        nop_dilution(&base, 56),    // dilute harder...
         memory_dilution(&base, 30), // ...or along the memory axis
     ] {
         let (w, f, c) = report(&program)?;
-        println!("{:<22} {:>6} {:>6}   {:>6.2}%", program.name, w, f, c * 100.0);
+        println!(
+            "{:<22} {:>6} {:>6}   {:>6.2}%",
+            program.name,
+            w,
+            f,
+            c * 100.0
+        );
     }
 
     println!();

@@ -11,14 +11,22 @@ use sofi::workloads::{bin_sem2, sync2};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, base, hard) in [
-        ("bin_sem2", bin_sem2(Variant::Baseline), bin_sem2(Variant::SumDmr)),
+        (
+            "bin_sem2",
+            bin_sem2(Variant::Baseline),
+            bin_sem2(Variant::SumDmr),
+        ),
         ("sync2", sync2(Variant::Baseline), sync2(Variant::SumDmr)),
     ] {
         println!("=== {name} ===");
         let eval = Evaluation::full_scan(&base, &hard)?;
 
         let (cb, ch) = eval.coverages(Weighting::Weighted);
-        println!("  fault coverage:  baseline {:.1}%   hardened {:.1}%", cb * 100.0, ch * 100.0);
+        println!(
+            "  fault coverage:  baseline {:.1}%   hardened {:.1}%",
+            cb * 100.0,
+            ch * 100.0
+        );
         println!("  (coverage says: hardening helps — for both benchmarks)");
 
         let (fb, fh) = eval.failure_counts();
@@ -28,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if cmp.improves() {
             println!("  => the SUM+DMR protection genuinely pays off here");
         } else {
-            println!("  => the coverage verdict was WRONG: this variant is {:.1}x", cmp.ratio);
+            println!(
+                "  => the coverage verdict was WRONG: this variant is {:.1}x",
+                cmp.ratio
+            );
             println!("     more susceptible — hidden by its inflated fault space");
         }
         println!();

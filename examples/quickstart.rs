@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. A fault-free run establishes the reference behaviour.
     let mut machine = Machine::new(&program);
     let status = machine.run(100_000);
-    println!("golden run: {status:?}, output {:?}, {} cycles", machine.serial(), machine.cycle());
+    println!(
+        "golden run: {status:?}, output {:?}, {} cycles",
+        machine.serial(),
+        machine.cycle()
+    );
 
     // 3. Prepare the campaign: golden run + def/use pruning of the fault
     //    space (every (cycle, bit) coordinate of RAM over the runtime).
@@ -55,8 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. The same failure count, estimated from 10k random samples — with
     //    the extrapolation Pitfall 3 (Corollary 2) requires.
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut rng = sofi_rng::DefaultRng::seed_from_u64(42);
     let sampled = campaign.run_sampled(10_000, SamplingMode::UniformRaw, &mut rng);
     let estimate = extrapolated_failures(&sampled, 0.95);
     println!(

@@ -6,10 +6,9 @@
 //! cargo run --release --example sampling_convergence
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sofi::prelude::*;
 use sofi::workloads::{bin_sem2, Variant};
+use sofi_rng::DefaultRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = bin_sem2(Variant::Baseline);
@@ -21,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  ------------------------------------------------------------------------------");
 
     for draws in [100u64, 1_000, 10_000, 100_000] {
-        let mut rng = StdRng::seed_from_u64(2024);
+        let mut rng = DefaultRng::seed_from_u64(2024);
         let sampled = campaign.run_sampled(draws, SamplingMode::UniformRaw, &mut rng);
         let est = extrapolated_failures(&sampled, 0.95);
         let hit = est.ci.0 <= exact as f64 && exact as f64 <= est.ci.1;

@@ -20,8 +20,7 @@ fn ram_without_accesses_is_fully_benign() {
     assert_eq!(r.failure_weight(), 0);
     assert_eq!(fault_coverage(&r, Weighting::Weighted), 1.0);
     // Raw-space sampling works (every draw is benign) ...
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = sofi_rng::DefaultRng::seed_from_u64(1);
     let s = c.run_sampled(100, SamplingMode::UniformRaw, &mut rng);
     assert_eq!(s.benign_draws, 100);
     assert_eq!(s.failure_hits(), 0);
@@ -102,12 +101,7 @@ fn detected_unrecoverable_classification() {
     m.flip_bit(33); // copy, different bit → unrecoverable
     m.run(1_000);
     let golden = sofi::trace::GoldenRun::capture(&p, 1_000).unwrap();
-    let outcome = Outcome::classify(
-        m.status().unwrap(),
-        m.serial(),
-        m.detect_count(),
-        &golden,
-    );
+    let outcome = Outcome::classify(m.status().unwrap(), m.serial(), m.detect_count(), &golden);
     assert_eq!(outcome, Outcome::DetectedUnrecoverable);
 }
 

@@ -2,9 +2,9 @@
 //! are executed both on the simulator and on an independent Rust model of
 //! the ISA semantics; register files and memory must agree afterwards.
 
-use proptest::prelude::*;
 use sofi::isa::{Asm, Inst, MemWidth, Program, Reg};
 use sofi::machine::Machine;
+use sofi_rng::{DefaultRng, Rng};
 
 const RAM: u32 = 16;
 
@@ -20,10 +20,7 @@ impl Model {
     fn new(data: &[u8]) -> Model {
         let mut ram = [0u8; RAM as usize];
         ram[..data.len()].copy_from_slice(data);
-        Model {
-            regs: [0; 16],
-            ram,
-        }
+        Model { regs: [0; 16], ram }
     }
 
     fn wr(&mut self, r: Reg, v: u32) {
@@ -138,20 +135,32 @@ enum Gen {
     StoreW(usize, u8),
 }
 
-fn any_gen() -> impl Strategy<Value = Gen> {
-    let reg = 0usize..16;
-    prop_oneof![
-        (0u8..11, reg.clone(), reg.clone(), reg.clone()).prop_map(|(o, d, a, b)| Gen::R(o, d, a, b)),
-        (0u8..5, reg.clone(), reg.clone(), any::<i16>()).prop_map(|(o, d, a, i)| Gen::I(o, d, a, i)),
-        (0u8..3, reg.clone(), reg.clone(), 0u8..32).prop_map(|(o, d, a, s)| Gen::Shift(o, d, a, s)),
-        (reg.clone(), any::<u16>()).prop_map(|(d, i)| Gen::Lui(d, i)),
-        (reg.clone(), 0u8..16, any::<bool>()).prop_map(|(d, a, s)| Gen::LoadB(d, a, s)),
-        (reg.clone(), 0u8..8, any::<bool>()).prop_map(|(d, a, s)| Gen::LoadH(d, a, s)),
-        (reg.clone(), 0u8..4).prop_map(|(d, a)| Gen::LoadW(d, a)),
-        (reg.clone(), 0u8..16).prop_map(|(s, a)| Gen::StoreB(s, a)),
-        (reg.clone(), 0u8..8).prop_map(|(s, a)| Gen::StoreH(s, a)),
-        (reg, 0u8..4).prop_map(|(s, a)| Gen::StoreW(s, a)),
-    ]
+fn any_gen(rng: &mut impl Rng) -> Gen {
+    fn reg<R: Rng + ?Sized>(rng: &mut R) -> usize {
+        rng.gen_range(0usize..16)
+    }
+    match rng.gen_range(0u32..10) {
+        0 => Gen::R(rng.gen_range(0u8..11), reg(rng), reg(rng), reg(rng)),
+        1 => Gen::I(
+            rng.gen_range(0u8..5),
+            reg(rng),
+            reg(rng),
+            rng.next_u64() as i16,
+        ),
+        2 => Gen::Shift(
+            rng.gen_range(0u8..3),
+            reg(rng),
+            reg(rng),
+            rng.gen_range(0u8..32),
+        ),
+        3 => Gen::Lui(reg(rng), rng.next_u64() as u16),
+        4 => Gen::LoadB(reg(rng), rng.gen_range(0u8..16), rng.gen_bool(0.5)),
+        5 => Gen::LoadH(reg(rng), rng.gen_range(0u8..8), rng.gen_bool(0.5)),
+        6 => Gen::LoadW(reg(rng), rng.gen_range(0u8..4)),
+        7 => Gen::StoreB(reg(rng), rng.gen_range(0u8..16)),
+        8 => Gen::StoreH(reg(rng), rng.gen_range(0u8..8)),
+        _ => Gen::StoreW(reg(rng), rng.gen_range(0u8..4)),
+    }
 }
 
 fn lower(g: &Gen) -> Inst {
@@ -234,20 +243,22 @@ fn lower(g: &Gen) -> Inst {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn machine_agrees_with_independent_model() {
+    // Deterministic seeded sweep: 256 random straight-line programs.
+    let mut rng = DefaultRng::seed_from_u64(0xD1FF);
+    for case in 0..256 {
+        let len = rng.gen_range(1usize..60);
+        let steps: Vec<Gen> = (0..len).map(|_| any_gen(&mut rng)).collect();
+        let mut seed_data = vec![0u8; RAM as usize];
+        rng.fill_bytes(&mut seed_data);
 
-    #[test]
-    fn machine_agrees_with_independent_model(
-        steps in prop::collection::vec(any_gen(), 1..60),
-        seed_data in prop::collection::vec(any::<u8>(), RAM as usize),
-    ) {
         let insts: Vec<Inst> = steps.iter().map(lower).collect();
         let program = Program::new("diff", insts.clone(), seed_data.clone(), RAM);
 
         let mut machine = Machine::new(&program);
         let status = machine.run(10_000);
-        prop_assert!(status.is_clean_halt());
+        assert!(status.is_clean_halt(), "case {case}: {status:?}");
 
         let mut model = Model::new(&seed_data);
         for inst in insts {
@@ -255,15 +266,14 @@ proptest! {
         }
 
         for r in Reg::ALL {
-            prop_assert_eq!(
+            assert_eq!(
                 machine.reg(r),
                 model.rd(r),
-                "register {} disagrees",
-                r
+                "case {case}: register {r} disagrees"
             );
         }
-        prop_assert_eq!(machine.ram().as_bytes(), &model.ram[..]);
-        prop_assert_eq!(machine.cycle(), steps.len() as u64);
+        assert_eq!(machine.ram().as_bytes(), &model.ram[..], "case {case}");
+        assert_eq!(machine.cycle(), steps.len() as u64, "case {case}");
     }
 }
 

@@ -2,7 +2,7 @@
 
 use sofi::campaign::Campaign;
 use sofi::metrics::{
-    exact_failures, compare_failures, fault_coverage, table1, PoissonModel, Weighting,
+    compare_failures, exact_failures, fault_coverage, table1, PoissonModel, Weighting,
 };
 use sofi::workloads::{bin_sem2, hi, hi_dft, hi_dft_prime, sync2, Variant};
 

@@ -4,10 +4,10 @@
 //! exactly like a brute-force scan that injects at each coordinate
 //! individually.
 
-use proptest::prelude::*;
 use sofi::campaign::{Campaign, CampaignConfig, OutcomeClass};
 use sofi::isa::{Asm, MemWidth, Program, Reg};
 use sofi::space::{ClassIndex, ClassRef};
+use sofi_rng::{DefaultRng, Rng};
 use std::collections::HashMap;
 
 /// One step of a random straight-line program over a 8-byte RAM.
@@ -22,17 +22,19 @@ enum Step {
     Out(usize),
 }
 
-fn any_step() -> impl Strategy<Value = Step> {
-    let reg = 1usize..8; // r1..r7
-    prop_oneof![
-        (0u8..6, reg.clone(), reg.clone(), reg.clone()).prop_map(|(op, d, a, b)| Step::Alu(op, d, a, b)),
-        (reg.clone(), any::<i16>()).prop_map(|(d, v)| Step::Li(d, v)),
-        (reg.clone(), 0u8..8).prop_map(|(d, a)| Step::LoadB(d, a)),
-        (reg.clone(), 0u8..2).prop_map(|(d, a)| Step::LoadW(d, a)),
-        (reg.clone(), 0u8..8).prop_map(|(s, a)| Step::StoreB(s, a)),
-        (reg.clone(), 0u8..2).prop_map(|(s, a)| Step::StoreW(s, a)),
-        reg.prop_map(Step::Out),
-    ]
+fn any_step(rng: &mut impl Rng) -> Step {
+    fn reg<R: Rng + ?Sized>(rng: &mut R) -> usize {
+        rng.gen_range(1usize..8) // r1..r7
+    }
+    match rng.gen_range(0u32..7) {
+        0 => Step::Alu(rng.gen_range(0u8..6), reg(rng), reg(rng), reg(rng)),
+        1 => Step::Li(reg(rng), rng.next_u64() as i16),
+        2 => Step::LoadB(reg(rng), rng.gen_range(0u8..8)),
+        3 => Step::LoadW(reg(rng), rng.gen_range(0u8..2)),
+        4 => Step::StoreB(reg(rng), rng.gen_range(0u8..8)),
+        5 => Step::StoreW(reg(rng), rng.gen_range(0u8..2)),
+        _ => Step::Out(reg(rng)),
+    }
 }
 
 fn build(steps: &[Step]) -> Program {
@@ -87,11 +89,13 @@ fn reg(i: usize) -> Reg {
 #[allow(dead_code)]
 fn width_is_public(_w: MemWidth) {}
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn pruned_scan_equals_brute_force(steps in prop::collection::vec(any_step(), 1..24)) {
+#[test]
+fn pruned_scan_equals_brute_force() {
+    // Deterministic seeded sweep: 24 random straight-line programs.
+    let mut rng = DefaultRng::seed_from_u64(0x50FD);
+    for _ in 0..24 {
+        let len = rng.gen_range(1usize..24);
+        let steps: Vec<Step> = (0..len).map(|_| any_step(&mut rng)).collect();
         let program = build(&steps);
         let campaign =
             Campaign::with_config(&program, CampaignConfig::sequential()).expect("golden run");
@@ -100,8 +104,8 @@ proptest! {
         let brute = campaign.run_brute_force();
 
         // Identical aggregate accounting...
-        prop_assert_eq!(brute.failure_weight(), pruned.failure_weight());
-        prop_assert_eq!(brute.benign_weight(), pruned.benign_weight());
+        assert_eq!(brute.failure_weight(), pruned.failure_weight());
+        assert_eq!(brute.benign_weight(), pruned.benign_weight());
 
         // ...and identical per-coordinate classification.
         let index = ClassIndex::new(campaign.analysis(), campaign.plan());
@@ -115,7 +119,7 @@ proptest! {
                 ClassRef::Experiment(id) => by_id[&id],
                 ClassRef::KnownBenign => OutcomeClass::NoEffect,
             };
-            prop_assert_eq!(
+            assert_eq!(
                 br.outcome.class(),
                 expected,
                 "coordinate {} of program {:?}",

@@ -2,11 +2,11 @@
 //! def/use pruning over register bits, campaign execution — including the
 //! pruning-soundness property against a brute-force register scan.
 
-use proptest::prelude::*;
 use sofi::campaign::{Campaign, CampaignConfig, FaultDomain, OutcomeClass};
 use sofi::isa::{Asm, Program, Reg};
 use sofi::machine::{Machine, REG_FILE_BITS};
 use sofi::space::{ClassIndex, ClassRef};
+use sofi_rng::{DefaultRng, Rng};
 use std::collections::HashMap;
 
 #[test]
@@ -66,13 +66,17 @@ fn read_modify_write_registers_prune_correctly() {
 
 #[test]
 fn register_sampling_extrapolates_to_exact() {
-    use rand::SeedableRng;
     use sofi::campaign::SamplingMode;
     use sofi::metrics::extrapolated_failures;
     let c = Campaign::new(&sofi::workloads::crc32()).unwrap();
     let exact = c.run_full_defuse_registers().failure_weight() as f64;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
-    let s = c.run_sampled_in(FaultDomain::RegisterFile, 60_000, SamplingMode::UniformRaw, &mut rng);
+    let mut rng = sofi_rng::DefaultRng::seed_from_u64(17);
+    let s = c.run_sampled_in(
+        FaultDomain::RegisterFile,
+        60_000,
+        SamplingMode::UniformRaw,
+        &mut rng,
+    );
     assert_eq!(s.domain, FaultDomain::RegisterFile);
     let est = extrapolated_failures(&s, 0.99);
     assert!(
@@ -92,15 +96,16 @@ enum Step {
     Out(usize),
 }
 
-fn any_step() -> impl Strategy<Value = Step> {
-    let reg = 1usize..6;
-    prop_oneof![
-        (0u8..4, reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(op, d, a, b)| Step::Alu(op, d, a, b)),
-        (reg.clone(), any::<i16>()).prop_map(|(d, v)| Step::Li(d, v)),
-        (reg.clone(), -5i16..5).prop_map(|(d, v)| Step::Rmw(d, v)),
-        reg.prop_map(Step::Out),
-    ]
+fn any_step(rng: &mut impl Rng) -> Step {
+    fn reg<R: Rng + ?Sized>(rng: &mut R) -> usize {
+        rng.gen_range(1usize..6)
+    }
+    match rng.gen_range(0u32..4) {
+        0 => Step::Alu(rng.gen_range(0u8..4), reg(rng), reg(rng), reg(rng)),
+        1 => Step::Li(reg(rng), rng.next_u64() as i16),
+        2 => Step::Rmw(reg(rng), rng.gen_range(-5i16..5)),
+        _ => Step::Out(reg(rng)),
+    }
 }
 
 fn build(steps: &[Step]) -> Program {
@@ -135,19 +140,21 @@ fn reg(i: usize) -> Reg {
     Reg::from_index(i).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn register_pruning_equals_brute_force(steps in prop::collection::vec(any_step(), 1..12)) {
+#[test]
+fn register_pruning_equals_brute_force() {
+    // Deterministic seeded sweep: 12 random register-churning programs.
+    let mut rng = DefaultRng::seed_from_u64(0x4E6);
+    for _ in 0..12 {
+        let len = rng.gen_range(1usize..12);
+        let steps: Vec<Step> = (0..len).map(|_| any_step(&mut rng)).collect();
         let program = build(&steps);
         let campaign =
             Campaign::with_config(&program, CampaignConfig::sequential()).expect("golden run");
         let pruned = campaign.run_full_defuse_registers();
         let brute = campaign.run_brute_force_registers();
 
-        prop_assert_eq!(brute.failure_weight(), pruned.failure_weight());
-        prop_assert_eq!(brute.benign_weight(), pruned.benign_weight());
+        assert_eq!(brute.failure_weight(), pruned.failure_weight());
+        assert_eq!(brute.benign_weight(), pruned.benign_weight());
 
         let index = ClassIndex::new(campaign.register_analysis(), campaign.register_plan());
         let by_id: HashMap<u32, OutcomeClass> = pruned
@@ -160,7 +167,7 @@ proptest! {
                 ClassRef::Experiment(id) => by_id[&id],
                 ClassRef::KnownBenign => OutcomeClass::NoEffect,
             };
-            prop_assert_eq!(
+            assert_eq!(
                 br.outcome.class(),
                 expected,
                 "register coordinate {} of {:?}",

@@ -3,12 +3,11 @@
 //! sampler diverges when class weight correlates with outcome, and
 //! extrapolated counts are invariant to the sample size.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sofi::campaign::{Campaign, SamplingMode};
 use sofi::isa::{Asm, Program, Reg};
 use sofi::metrics::extrapolated_failures;
 use sofi::workloads::{crc32, strrev};
+use sofi_rng::DefaultRng;
 
 /// Long-lived failing config bytes + masses of short-lived masked scratch
 /// traffic: maximal weight/outcome correlation.
@@ -35,7 +34,7 @@ fn estimators_converge_to_exact_counts() {
     for program in [crc32(), strrev()] {
         let campaign = Campaign::new(&program).unwrap();
         let exact = campaign.run_full_defuse().failure_weight() as f64;
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = DefaultRng::seed_from_u64(99);
         for mode in [SamplingMode::UniformRaw, SamplingMode::WeightedClasses] {
             let sampled = campaign.run_sampled(60_000, mode, &mut rng);
             let est = extrapolated_failures(&sampled, 0.99);
@@ -61,14 +60,17 @@ fn biased_sampler_is_demonstrably_biased() {
     let full = campaign.run_full_defuse();
     let truth = full.failure_weight() as f64 / campaign.plan().experiment_weight() as f64;
 
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = DefaultRng::seed_from_u64(5);
     let fair = campaign.run_sampled(40_000, SamplingMode::WeightedClasses, &mut rng);
     let biased = campaign.run_sampled(40_000, SamplingMode::BiasedPerClass, &mut rng);
 
     let fair_frac = fair.failure_hits() as f64 / fair.draws as f64;
     let biased_frac = biased.failure_hits() as f64 / biased.draws as f64;
 
-    assert!((fair_frac - truth).abs() < 0.02, "fair {fair_frac} vs {truth}");
+    assert!(
+        (fair_frac - truth).abs() < 0.02,
+        "fair {fair_frac} vs {truth}"
+    );
     assert!(
         (biased_frac - truth).abs() > 0.3,
         "the biased sampler should be far off: {biased_frac} vs {truth}"
@@ -80,7 +82,7 @@ fn extrapolation_is_sample_size_invariant() {
     let campaign = Campaign::new(&crc32()).unwrap();
     let mut estimates = Vec::new();
     for (seed, draws) in [(1u64, 20_000u64), (2, 60_000), (3, 120_000)] {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DefaultRng::seed_from_u64(seed);
         let s = campaign.run_sampled(draws, SamplingMode::UniformRaw, &mut rng);
         estimates.push(extrapolated_failures(&s, 0.95).failures);
     }
