@@ -46,20 +46,139 @@ fn bench_brute_force(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_fork_ablation(c: &mut Criterion) {
-    // Ablation: the pristine-fork optimization vs naive replay-from-zero.
-    let mut group = c.benchmark_group("campaign/fork_ablation");
-    group.sample_size(10);
-    let campaign =
-        Campaign::with_config(&fib(Variant::Baseline), CampaignConfig::sequential()).unwrap();
-    let experiments = &campaign.plan().experiments;
-    group.bench_function("forking", |b| {
-        b.iter(|| campaign.run_experiments(experiments));
-    });
-    group.bench_function("naive_replay", |b| {
-        b.iter(|| campaign.run_experiments_naive(FaultDomain::Memory, experiments));
-    });
-    group.finish();
+/// One `BENCH_campaign.json` record: a (workload, domain) ablation over
+/// the three executor modes (naive replay, pristine forking, forking +
+/// convergence termination), all sequential so speedups isolate the
+/// algorithmic change.
+struct AblationRow {
+    workload: String,
+    domain: String,
+    experiments: u64,
+    golden_cycles: u64,
+    naive_secs: f64,
+    fork_secs: f64,
+    converge_secs: f64,
+    naive_exp_per_sec: f64,
+    fork_exp_per_sec: f64,
+    converge_exp_per_sec: f64,
+    speedup_fork_vs_naive: f64,
+    speedup_converge_vs_naive: f64,
+    pristine_cycles: u64,
+    faulted_cycles: u64,
+    converged_early: u64,
+    faulted_cycles_saved: u64,
+    early_termination_rate: f64,
+}
+sofi::report::impl_to_json!(AblationRow {
+    workload,
+    domain,
+    experiments,
+    golden_cycles,
+    naive_secs,
+    fork_secs,
+    converge_secs,
+    naive_exp_per_sec,
+    fork_exp_per_sec,
+    converge_exp_per_sec,
+    speedup_fork_vs_naive,
+    speedup_converge_vs_naive,
+    pristine_cycles,
+    faulted_cycles,
+    converged_early,
+    faulted_cycles_saved,
+    early_termination_rate
+});
+
+/// Minimum wall time of `f` over `samples` runs (plus one warm-up).
+fn time_min(samples: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    (0..samples)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn bench_campaign_ablation(_c: &mut Criterion) {
+    // Ablation of the executor optimizations, recorded machine-readably:
+    // naive replay-from-zero vs pristine forking vs forking + golden-state
+    // convergence termination. `SOFI_BENCH_SMOKE=1` restricts the sweep to
+    // the smallest workload so CI can exercise the whole path in seconds.
+    let smoke = std::env::var_os("SOFI_BENCH_SMOKE").is_some();
+    let workloads = if smoke {
+        vec![hi()]
+    } else {
+        sofi::workloads::all_baselines()
+    };
+    let samples = if smoke { 3 } else { 5 };
+
+    println!("campaign/ablation (sequential; times are min of {samples} runs)");
+    let mut rows = Vec::new();
+    for program in workloads {
+        let plain = Campaign::with_config(
+            &program,
+            CampaignConfig {
+                convergence: false,
+                ..CampaignConfig::sequential()
+            },
+        )
+        .unwrap();
+        let converging = Campaign::with_config(&program, CampaignConfig::sequential()).unwrap();
+        for domain in [FaultDomain::Memory, FaultDomain::RegisterFile] {
+            let experiments = match domain {
+                FaultDomain::Memory => &plain.plan().experiments,
+                FaultDomain::RegisterFile => &plain.register_plan().experiments,
+            };
+            let naive_secs = time_min(samples, || {
+                drop(plain.run_experiments_naive(domain, experiments))
+            });
+            let fork_secs = time_min(samples, || {
+                drop(plain.run_experiments_stats(domain, experiments))
+            });
+            let converge_secs = time_min(samples, || {
+                drop(converging.run_experiments_stats(domain, experiments))
+            });
+            let (_, stats) = converging.run_experiments_stats(domain, experiments);
+
+            let n = experiments.len() as f64;
+            let row = AblationRow {
+                workload: program.name.clone(),
+                domain: format!("{domain:?}"),
+                experiments: experiments.len() as u64,
+                golden_cycles: converging.golden().cycles,
+                naive_secs,
+                fork_secs,
+                converge_secs,
+                naive_exp_per_sec: n / naive_secs,
+                fork_exp_per_sec: n / fork_secs,
+                converge_exp_per_sec: n / converge_secs,
+                speedup_fork_vs_naive: naive_secs / fork_secs,
+                speedup_converge_vs_naive: naive_secs / converge_secs,
+                pristine_cycles: stats.pristine_cycles,
+                faulted_cycles: stats.faulted_cycles,
+                converged_early: stats.converged_early,
+                faulted_cycles_saved: stats.faulted_cycles_saved,
+                early_termination_rate: stats.early_termination_rate(),
+            };
+            println!(
+                "  {:<12} {:<12} naive {:>9.1} exp/s  fork {:>9.1} exp/s  converge {:>9.1} exp/s  \
+                 ({:.2}x / {:.2}x, {:.0}% early)",
+                row.workload,
+                row.domain,
+                row.naive_exp_per_sec,
+                row.fork_exp_per_sec,
+                row.converge_exp_per_sec,
+                row.speedup_fork_vs_naive,
+                row.speedup_converge_vs_naive,
+                row.early_termination_rate * 100.0
+            );
+            rows.push(row);
+        }
+    }
+    println!();
+    sofi_bench::save_artifact("BENCH_campaign.json", &rows);
 }
 
 criterion_group!(
@@ -67,6 +186,6 @@ criterion_group!(
     bench_full_scan,
     bench_parallelism,
     bench_brute_force,
-    bench_fork_ablation
+    bench_campaign_ablation
 );
 criterion_main!(benches);

@@ -30,12 +30,15 @@ sofi::report::impl_to_json!(SummaryRow {
 
 fn main() {
     let mut rows = Vec::new();
+    let mut exec_rows = Vec::new();
     for (name, base, hard) in sofi::workloads::benchmark_pairs() {
         eprintln!("evaluating {name} ...");
         let cb = Campaign::new(&base).expect("golden run");
         let ch = Campaign::new(&hard).expect("golden run");
-        let fb = cb.run_full_defuse();
-        let fh = ch.run_full_defuse();
+        let (fb, sb_stats) = cb.run_full_defuse_stats();
+        let (fh, sh_stats) = ch.run_full_defuse_stats();
+        exec_rows.push((format!("{name} (base)"), sb_stats));
+        exec_rows.push((format!("{name} (hard)"), sh_stats));
         let exact = compare_failures(&exact_failures(&fb), &exact_failures(&fh));
 
         // Deliberately different sample sizes: extrapolation (Pitfall 3,
@@ -83,6 +86,32 @@ fn main() {
     println!("{t}");
     println!("The fault-coverage metric would have called every variant an improvement;");
     println!("the absolute-failure-count metric exposes the ones that are not (§V-B).");
+
+    println!();
+    println!("== Executor counters (full def/use scans, convergence termination on) ==");
+    let mut e = Table::new(vec![
+        "campaign",
+        "experiments",
+        "pristine cyc",
+        "faulted cyc",
+        "early-term",
+        "cyc saved",
+    ]);
+    for (name, s) in &exec_rows {
+        e.row(vec![
+            name.clone(),
+            s.experiments.to_string(),
+            s.pristine_cycles.to_string(),
+            s.faulted_cycles.to_string(),
+            format!(
+                "{} ({:.0}%)",
+                s.converged_early,
+                s.early_termination_rate() * 100.0
+            ),
+            s.faulted_cycles_saved.to_string(),
+        ]);
+    }
+    println!("{e}");
 
     save_artifact("summary.json", &rows);
 }

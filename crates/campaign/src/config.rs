@@ -14,6 +14,11 @@ pub struct CampaignConfig {
     /// Constant slack added to the cycle budget (covers very short
     /// benchmarks where a small absolute overrun is plausible).
     pub timeout_slack: u64,
+    /// Early-terminate faulted runs that converge back onto a pristine
+    /// checkpoint (see `Campaign::run_experiments_stats`). Outcomes are
+    /// provably identical either way; the knob exists for ablation
+    /// benchmarks and for debugging the executor itself.
+    pub convergence: bool,
     /// Machine limits used for experiment runs.
     pub machine: MachineConfig,
 }
@@ -24,6 +29,7 @@ impl Default for CampaignConfig {
             threads: 0,
             timeout_factor: 3,
             timeout_slack: 1_000,
+            convergence: true,
             machine: MachineConfig::default(),
         }
     }

@@ -4,7 +4,7 @@ use crate::config::CampaignConfig;
 use crate::outcome::Outcome;
 use crate::result::{CampaignResult, ExperimentResult, FaultDomain};
 use sofi_isa::Program;
-use sofi_machine::{ExternalEvent, Machine};
+use sofi_machine::{AccessKind, ConvergenceMask, ExternalEvent, Machine};
 use sofi_space::{DefUseAnalysis, Experiment, InjectionPlan};
 use sofi_trace::{GoldenError, GoldenRun};
 use std::sync::OnceLock;
@@ -13,19 +13,56 @@ use std::sync::OnceLock;
 const GOLDEN_CYCLE_LIMIT: u64 = 50_000_000;
 
 /// Instrumentation from one executor invocation, used by scheduling
-/// regression tests and the EXPERIMENTS.md bench evidence.
+/// regression tests, the ablation benches, and the EXPERIMENTS.md bench
+/// evidence.
 ///
 /// `pristine_cycles` counts only forward simulation of *pristine*
 /// machines performed during the call (advancing to injection points);
-/// the faulted runs themselves and the one-time checkpoint construction
-/// (at most one golden runtime, amortized over every subsequent parallel
-/// run of the campaign) are not included.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// the one-time checkpoint construction (at most one golden runtime,
+/// amortized over every subsequent run of the campaign) is not included.
+/// `faulted_cycles` counts the cycles actually simulated inside faulted
+/// runs, so `faulted_cycles_saved / (faulted_cycles +
+/// faulted_cycles_saved)` is the fraction of faulted simulation work the
+/// convergence optimization eliminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExecutorStats {
     /// Workers that actually executed experiments.
     pub workers: usize,
+    /// Experiments executed.
+    pub experiments: u64,
     /// Total pristine forward-simulation cycles across all workers.
     pub pristine_cycles: u64,
+    /// Cycles simulated inside faulted runs (injection to termination —
+    /// natural or early).
+    pub faulted_cycles: u64,
+    /// Experiments classified early because the faulted machine's
+    /// architectural state converged back onto a pristine checkpoint.
+    pub converged_early: u64,
+    /// Faulted cycles *not* simulated thanks to convergence termination:
+    /// a converged run is provably identical to golden for its remaining
+    /// `golden_cycles − checkpoint_cycle` tail.
+    pub faulted_cycles_saved: u64,
+}
+
+impl ExecutorStats {
+    /// Fraction of experiments that early-terminated via convergence.
+    pub fn early_termination_rate(&self) -> f64 {
+        if self.experiments == 0 {
+            0.0
+        } else {
+            self.converged_early as f64 / self.experiments as f64
+        }
+    }
+
+    /// Folds a worker's counters into this (campaign-level) record.
+    fn absorb(&mut self, worker: &ExecutorStats) {
+        self.workers += worker.workers;
+        self.experiments += worker.experiments;
+        self.pristine_cycles += worker.pristine_cycles;
+        self.faulted_cycles += worker.faulted_cycles;
+        self.converged_early += worker.converged_early;
+        self.faulted_cycles_saved += worker.faulted_cycles_saved;
+    }
 }
 
 /// A prepared fault-injection campaign: program, golden run, def/use
@@ -42,10 +79,21 @@ pub struct Campaign {
     reg_analysis: DefUseAnalysis,
     reg_plan: InjectionPlan,
     config: CampaignConfig,
-    /// Evenly spaced pristine-machine snapshots, built lazily on the
-    /// first parallel run so workers can start mid-run instead of
-    /// re-simulating from cycle 0.
-    checkpoints: OnceLock<Vec<Machine>>,
+    /// Evenly spaced pristine-machine snapshots plus the liveness mask at
+    /// each snapshot cycle, built lazily on first use. Workers start
+    /// mid-run from the nearest snapshot instead of re-simulating from
+    /// cycle 0, and faulted runs compare against the snapshots to
+    /// early-terminate once they have converged back onto the golden run.
+    checkpoints: OnceLock<Vec<Checkpoint>>,
+}
+
+/// One pristine snapshot: the machine state after `machine.cycle()`
+/// instructions and the set of RAM bytes / registers that are still
+/// *live* (readable before being rewritten) from that cycle on.
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    machine: Machine,
+    mask: ConvergenceMask,
 }
 
 impl Campaign {
@@ -183,16 +231,40 @@ impl Campaign {
 
     /// Executes an arbitrary plan with injections into the given domain.
     pub fn run_plan_in(&self, domain: FaultDomain, plan: &InjectionPlan) -> CampaignResult {
-        let mut results = self.run_experiments_in(domain, &plan.experiments);
+        self.run_plan_stats(domain, plan).0
+    }
+
+    /// [`Campaign::run_plan_in`] plus executor instrumentation, for
+    /// reporting pristine/faulted cycle counts and convergence savings.
+    pub fn run_plan_stats(
+        &self,
+        domain: FaultDomain,
+        plan: &InjectionPlan,
+    ) -> (CampaignResult, ExecutorStats) {
+        let (mut results, stats) = self.run_experiments_stats(domain, &plan.experiments);
         results.sort_by_key(|r| r.experiment.id);
-        CampaignResult {
-            benchmark: self.program.name.clone(),
-            domain,
-            space: plan.space,
-            known_benign_weight: plan.known_benign_weight,
-            golden_cycles: self.golden.cycles,
-            results,
-        }
+        (
+            CampaignResult {
+                benchmark: self.program.name.clone(),
+                domain,
+                space: plan.space,
+                known_benign_weight: plan.known_benign_weight,
+                golden_cycles: self.golden.cycles,
+                results,
+            },
+            stats,
+        )
+    }
+
+    /// [`Campaign::run_full_defuse`] plus executor instrumentation.
+    pub fn run_full_defuse_stats(&self) -> (CampaignResult, ExecutorStats) {
+        self.run_plan_stats(FaultDomain::Memory, &self.plan)
+    }
+
+    /// [`Campaign::run_full_defuse_registers`] plus executor
+    /// instrumentation.
+    pub fn run_full_defuse_registers_stats(&self) -> (CampaignResult, ExecutorStats) {
+        self.run_plan_stats(FaultDomain::RegisterFile, &self.reg_plan)
     }
 
     /// Executes a list of memory-domain experiments (any order) and
@@ -220,6 +292,15 @@ impl Campaign {
     /// [checkpoint](ExecutorStats). Total pristine forward simulation
     /// therefore stays within a small factor of the sequential executor
     /// instead of growing linearly with the worker count.
+    ///
+    /// When [`CampaignConfig::convergence`] is on (the default), each
+    /// faulted run additionally pauses at every pristine checkpoint cycle
+    /// it crosses and compares its architectural state against the stored
+    /// snapshot ([`Machine::converged_with`]): on a match the rest of the
+    /// run is provably identical to golden, so the outcome is classified
+    /// immediately instead of simulating the tail. Results are
+    /// `assert_eq!`-identical to [`Campaign::run_experiments_naive`] in
+    /// both cases.
     pub fn run_experiments_stats(
         &self,
         domain: FaultDomain,
@@ -229,15 +310,17 @@ impl Campaign {
             .config
             .effective_threads()
             .min(experiments.len().max(1));
+        let checkpoints: &[Checkpoint] = if self.config.convergence || threads > 1 {
+            self.checkpoints()
+        } else {
+            &[]
+        };
         if threads <= 1 {
-            let (results, pristine_cycles) =
-                self.run_worker(domain, self.fresh_machine(), experiments.iter().copied());
-            return (
-                results,
-                ExecutorStats {
-                    workers: 1,
-                    pristine_cycles,
-                },
+            return self.run_worker(
+                domain,
+                self.fresh_machine(),
+                experiments.iter().copied(),
+                checkpoints,
             );
         }
 
@@ -245,24 +328,22 @@ impl Campaign {
         let mut sorted = experiments.to_vec();
         sorted.sort_unstable_by_key(|e| (e.coord.cycle, e.coord.bit, e.id));
         let chunks = chunk_by_cycle_span(&sorted, threads);
-        let checkpoints = self.checkpoints();
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
                     let start = self.machine_at(checkpoints, chunk[0].coord.cycle - 1);
-                    scope.spawn(move || self.run_worker(domain, start, chunk.iter().copied()))
+                    scope.spawn(move || {
+                        self.run_worker(domain, start, chunk.iter().copied(), checkpoints)
+                    })
                 })
                 .collect();
-            let mut stats = ExecutorStats {
-                workers: handles.len(),
-                pristine_cycles: 0,
-            };
+            let mut stats = ExecutorStats::default();
             let mut results = Vec::with_capacity(sorted.len());
             for handle in handles {
-                let (part, cycles) = handle.join().expect("campaign worker panicked");
-                stats.pristine_cycles += cycles;
+                let (part, worker) = handle.join().expect("campaign worker panicked");
+                stats.absorb(&worker);
                 results.extend(part);
             }
             (results, stats)
@@ -275,11 +356,18 @@ impl Campaign {
     }
 
     /// The evenly spaced pristine snapshots, built on first use. The
-    /// build costs at most one golden runtime and is amortized over
-    /// every subsequent parallel run.
-    fn checkpoints(&self) -> &[Machine] {
+    /// build costs at most one golden runtime (plus one liveness sweep
+    /// over the golden access traces) and is amortized over every
+    /// subsequent run. Convergence termination wants a reasonably dense
+    /// grid (a faulted run keeps simulating until the next checkpoint
+    /// even after its fault is masked), so the count floors at 64 when
+    /// the optimization is enabled; snapshots are cheap because RAM pages
+    /// are copy-on-write shared between them.
+    fn checkpoints(&self) -> &[Checkpoint] {
         self.checkpoints.get_or_init(|| {
-            let count = (8 * self.config.effective_threads() as u64).clamp(16, 256);
+            let base = 8 * self.config.effective_threads() as u64;
+            let floor = if self.config.convergence { 64 } else { 16 };
+            let count = base.clamp(floor, 256);
             let spacing = (self.golden.cycles / count).max(1);
             let mut machine = self.fresh_machine();
             let mut snapshots = Vec::new();
@@ -290,16 +378,67 @@ impl Campaign {
                 snapshots.push(machine.clone());
                 cycle += spacing;
             }
+            let masks = self.convergence_masks(&snapshots);
             snapshots
+                .into_iter()
+                .zip(masks)
+                .map(|(machine, mask)| Checkpoint { machine, mask })
+                .collect()
         })
+    }
+
+    /// Computes, for each snapshot, which RAM bytes and registers are
+    /// still live there: a location is live after cycle `c` iff its first
+    /// access in the golden trace after `c` is a read. Dead locations are
+    /// rewritten before any read (or never touched again), so a faulted
+    /// run may differ there and still be observationally identical to
+    /// golden — [`Machine::converged_with_masked`] exploits exactly this.
+    fn convergence_masks(&self, snapshots: &[Machine]) -> Vec<ConvergenceMask> {
+        let ram_bytes = (self.golden.ram_bits / 8) as usize;
+        // Access history per RAM byte and per register, in execution
+        // order (the traces are cycle-sorted already).
+        let mut mem: Vec<Vec<(u64, bool)>> = vec![Vec::new(); ram_bytes];
+        for a in &self.golden.trace {
+            let read = a.kind == AccessKind::Read;
+            for b in a.addr..a.addr + a.width.bytes() {
+                mem[b as usize].push((a.cycle, read));
+            }
+        }
+        let mut regs: [Vec<(u64, bool)>; 16] = Default::default();
+        for a in &self.golden.reg_trace {
+            regs[a.reg.index()].push((a.cycle, a.kind == AccessKind::Read));
+        }
+        let live_after = |hist: &[(u64, bool)], c: u64| {
+            let next = hist.partition_point(|&(cycle, _)| cycle <= c);
+            matches!(hist.get(next), Some(&(_, true)))
+        };
+        snapshots
+            .iter()
+            .map(|m| {
+                let c = m.cycle();
+                let mut ram_live = vec![0u8; ram_bytes.div_ceil(8)];
+                for (b, hist) in mem.iter().enumerate() {
+                    if live_after(hist, c) {
+                        ram_live[b / 8] |= 1 << (b % 8);
+                    }
+                }
+                let mut reg_live = 0u16;
+                for (r, hist) in regs.iter().enumerate() {
+                    if live_after(hist, c) {
+                        reg_live |= 1 << r;
+                    }
+                }
+                ConvergenceMask { ram_live, reg_live }
+            })
+            .collect()
     }
 
     /// Clones the latest checkpoint at or before `cycle` (a fresh
     /// machine when none qualifies).
-    fn machine_at(&self, checkpoints: &[Machine], cycle: u64) -> Machine {
-        match checkpoints.partition_point(|m| m.cycle() <= cycle) {
+    fn machine_at(&self, checkpoints: &[Checkpoint], cycle: u64) -> Machine {
+        match checkpoints.partition_point(|c| c.machine.cycle() <= cycle) {
             0 => self.fresh_machine(),
-            n => checkpoints[n - 1].clone(),
+            n => checkpoints[n - 1].machine.clone(),
         }
     }
 
@@ -337,23 +476,29 @@ impl Campaign {
 
     /// Sequential worker: advances a pristine machine monotonically along
     /// the (cycle-sorted) experiment stream and forks it per experiment.
-    /// Returns the results plus the pristine cycles simulated.
+    /// Returns the results plus this worker's counters.
     fn run_worker(
         &self,
         domain: FaultDomain,
         mut pristine: Machine,
         experiments: impl Iterator<Item = Experiment>,
-    ) -> (Vec<ExperimentResult>, u64) {
-        let budget = self.config.cycle_budget(self.golden.cycles);
-        let mut pristine_cycles = 0u64;
+        checkpoints: &[Checkpoint],
+    ) -> (Vec<ExperimentResult>, ExecutorStats) {
+        let mut stats = ExecutorStats {
+            workers: 1,
+            ..ExecutorStats::default()
+        };
         let mut out = Vec::new();
         for e in experiments {
             let pre_cycle = e.coord.cycle - 1;
             if pristine.cycle() > pre_cycle {
-                // Out-of-order experiment: restart the pristine machine.
-                pristine = self.fresh_machine();
+                // Out-of-order experiment: resume from the nearest
+                // checkpoint at or before the injection point (a fresh
+                // machine when none qualifies) instead of always
+                // rebuilding from cycle 0.
+                pristine = self.machine_at(checkpoints, pre_cycle);
             }
-            pristine_cycles += pre_cycle - pristine.cycle();
+            stats.pristine_cycles += pre_cycle - pristine.cycle();
             let early = pristine.run_to(pre_cycle);
             assert!(
                 early.is_none(),
@@ -365,14 +510,72 @@ impl Campaign {
                 FaultDomain::Memory => m.flip_bit(e.coord.bit),
                 FaultDomain::RegisterFile => m.flip_reg_bit(e.coord.bit),
             }
-            let status = m.run(budget);
-            let outcome = Outcome::classify(status, m.serial(), m.detect_count(), &self.golden);
+            let outcome = self.run_faulted(&mut m, checkpoints, &mut stats);
+            stats.experiments += 1;
             out.push(ExperimentResult {
                 experiment: e,
                 outcome,
             });
         }
-        (out, pristine_cycles)
+        (out, stats)
+    }
+
+    /// Runs one faulted machine to its classification.
+    ///
+    /// With convergence enabled, the run pauses at every pristine
+    /// checkpoint cycle it crosses. If the faulted machine's architectural
+    /// state matches the snapshot there ([`Machine::converged_with`]),
+    /// determinism makes the remaining tail identical to the golden run:
+    /// it will halt cleanly at `golden_cycles` having emitted exactly the
+    /// golden serial tail and `golden_detects − checkpoint_detects`
+    /// further detections. The final classification is therefore fully
+    /// determined at the checkpoint, without simulating the tail:
+    ///
+    /// * serial so far not a golden prefix → the complete output will
+    ///   differ → [`Outcome::SilentDataCorruption`];
+    /// * detections above the checkpoint's → the final count exceeds
+    ///   golden's → [`Outcome::DetectedCorrected`];
+    /// * otherwise → [`Outcome::NoEffect`].
+    ///
+    /// Convergence uses the *masked* comparison: RAM bytes and registers
+    /// that the golden run rewrites before reading (or never touches
+    /// again) are excluded, so faults that simply go dormant for the rest
+    /// of the run also terminate early.
+    fn run_faulted(
+        &self,
+        m: &mut Machine,
+        checkpoints: &[Checkpoint],
+        stats: &mut ExecutorStats,
+    ) -> Outcome {
+        let budget = self.config.cycle_budget(self.golden.cycles);
+        let start_cycle = m.cycle();
+        // Early termination is only sound if a converged run's tail — the
+        // rest of the golden run — fits the budget; with any sane timeout
+        // configuration it does (budget ≥ golden runtime).
+        if self.config.convergence && self.golden.cycles <= budget {
+            let first = checkpoints.partition_point(|c| c.machine.cycle() <= m.cycle());
+            for ckpt in &checkpoints[first..] {
+                if let Some(status) = m.run_to(ckpt.machine.cycle()) {
+                    stats.faulted_cycles += m.cycle() - start_cycle;
+                    return Outcome::classify(status, m.serial(), m.detect_count(), &self.golden);
+                }
+                if m.converged_with_masked(&ckpt.machine, &ckpt.mask) {
+                    stats.faulted_cycles += m.cycle() - start_cycle;
+                    stats.converged_early += 1;
+                    stats.faulted_cycles_saved += self.golden.cycles - m.cycle();
+                    return if !self.golden.matches_serial_prefix(m.serial()) {
+                        Outcome::SilentDataCorruption
+                    } else if m.detect_count() > ckpt.machine.detect_count() {
+                        Outcome::DetectedCorrected
+                    } else {
+                        Outcome::NoEffect
+                    };
+                }
+            }
+        }
+        let status = m.run(budget);
+        stats.faulted_cycles += m.cycle() - start_cycle;
+        Outcome::classify(status, m.serial(), m.detect_count(), &self.golden)
     }
 }
 
@@ -596,6 +799,124 @@ mod tests {
         }
         // Span balance: the dense low-cycle half lands in the first chunk.
         assert!(chunks[0].len() > chunks[chunks.len() - 1].len());
+    }
+
+    #[test]
+    fn convergence_agrees_with_naive_and_saves_work() {
+        for domain in [FaultDomain::Memory, FaultDomain::RegisterFile] {
+            let p = sofi_workloads::fib(sofi_workloads::Variant::Baseline);
+            let with = Campaign::with_config(&p, CampaignConfig::sequential()).unwrap();
+            let without = Campaign::with_config(
+                &p,
+                CampaignConfig {
+                    convergence: false,
+                    ..CampaignConfig::sequential()
+                },
+            )
+            .unwrap();
+            let experiments = match domain {
+                FaultDomain::Memory => with.plan().experiments.clone(),
+                FaultDomain::RegisterFile => with.register_plan().experiments.clone(),
+            };
+
+            let naive = with.run_experiments_naive(domain, &experiments);
+            let (converged, on_stats) = with.run_experiments_stats(domain, &experiments);
+            let (plain, off_stats) = without.run_experiments_stats(domain, &experiments);
+            assert_eq!(converged, naive, "{domain:?}: convergence changed outcomes");
+            assert_eq!(plain, naive, "{domain:?}: fork executor changed outcomes");
+
+            assert_eq!(off_stats.converged_early, 0);
+            assert_eq!(off_stats.faulted_cycles_saved, 0);
+            assert!(
+                on_stats.converged_early > 0,
+                "{domain:?}: no experiment converged early"
+            );
+            assert!(on_stats.faulted_cycles_saved > 0);
+            assert!(
+                on_stats.faulted_cycles < off_stats.faulted_cycles,
+                "{domain:?}: convergence did not reduce faulted simulation \
+                 ({} vs {})",
+                on_stats.faulted_cycles,
+                off_stats.faulted_cycles
+            );
+            assert!(on_stats.early_termination_rate() > 0.0);
+            assert_eq!(on_stats.experiments, experiments.len() as u64);
+        }
+    }
+
+    #[test]
+    fn converged_detection_classified_corrected() {
+        // Hardened pattern whose detect-and-scrub path has exactly the
+        // same length as the clean path: a faulted run that takes it
+        // re-aligns with the pristine machine (only detect_count ahead),
+        // crosses a later checkpoint, and must early-terminate as
+        // DetectedCorrected — not NoEffect, not a full-tail simulation.
+        let mut a = Asm::with_name("scrub");
+        let x = a.data_bytes("x", &[0]);
+        let clean = a.new_label();
+        let join = a.new_label();
+        a.lb(Reg::R1, Reg::R0, x.offset()); // may be corrupted
+        a.sb(Reg::R0, Reg::R0, x.offset()); // scrub the stored copy
+        a.beq(Reg::R1, Reg::R0, clean);
+        a.detect_signal(Reg::R1); // faulted path: 3 cycles
+        a.mv(Reg::R1, Reg::R0);
+        a.j(join);
+        a.bind(clean);
+        a.nop(); // clean path: 3 cycles
+        a.nop();
+        a.nop();
+        a.bind(join);
+        // Long benign tail so checkpoints land after the join.
+        for _ in 0..200 {
+            a.nop();
+        }
+        a.li(Reg::R2, b'k' as i32);
+        a.serial_out(Reg::R2);
+        let p = a.build().unwrap();
+
+        let c = Campaign::with_config(&p, CampaignConfig::sequential()).unwrap();
+        let (result, stats) = c.run_full_defuse_stats();
+        let naive = c.run_experiments_naive(FaultDomain::Memory, &c.plan().experiments);
+        let mut naive_sorted = naive;
+        naive_sorted.sort_by_key(|r| r.experiment.id);
+        assert_eq!(result.results, naive_sorted);
+        assert!(
+            result
+                .results
+                .iter()
+                .any(|r| r.outcome == Outcome::DetectedCorrected),
+            "expected a detected-and-corrected experiment, got {:?}",
+            result.results.iter().map(|r| r.outcome).collect::<Vec<_>>()
+        );
+        assert!(stats.converged_early > 0, "no early termination happened");
+    }
+
+    #[test]
+    fn out_of_order_experiments_restart_from_checkpoints() {
+        // Feed the sequential worker its plan in *descending* cycle order:
+        // every experiment forces a restart. With the checkpoint-based
+        // restart the pristine rework is bounded by the checkpoint
+        // spacing; the old always-from-zero restart would re-simulate the
+        // full prefix sum of injection cycles.
+        let p = sofi_workloads::fib(sofi_workloads::Variant::Baseline);
+        let c = Campaign::with_config(&p, CampaignConfig::sequential()).unwrap();
+        let mut reversed = c.plan().experiments.clone();
+        reversed.sort_unstable_by_key(|e| std::cmp::Reverse((e.coord.cycle, e.coord.bit)));
+
+        let (mut results, stats) = c.run_experiments_stats(FaultDomain::Memory, &reversed);
+        let mut naive = c.run_experiments_naive(FaultDomain::Memory, &reversed);
+        results.sort_by_key(|r| r.experiment.id);
+        naive.sort_by_key(|r| r.experiment.id);
+        assert_eq!(results, naive);
+
+        let from_zero_cost: u64 = reversed.iter().map(|e| e.coord.cycle - 1).sum();
+        assert!(
+            stats.pristine_cycles < from_zero_cost / 4,
+            "checkpoint restarts should beat from-zero restarts by a wide \
+             margin ({} vs {})",
+            stats.pristine_cycles,
+            from_zero_cost
+        );
     }
 
     #[test]

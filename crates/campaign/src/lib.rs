@@ -7,16 +7,24 @@
 //! cycle, the bit is flipped, execution resumes, and the run's observable
 //! behaviour is classified against the golden run (§II-D of the paper).
 //!
-//! The executor exploits two properties of the setup:
+//! The executor exploits three properties of the setup:
 //!
 //! * plans are sorted by injection cycle, so a single *pristine* machine is
-//!   advanced monotonically and cheaply cloned at each injection point
-//!   (no per-experiment replay from cycle 0);
+//!   advanced monotonically and cheaply forked at each injection point
+//!   (machine RAM is copy-on-write, so a fork costs a page-table clone,
+//!   not a memcpy — and no per-experiment replay from cycle 0);
 //! * experiments are independent, so the cycle-sorted list is split into
 //!   one contiguous cycle-span chunk per worker thread, each worker
 //!   starting from a pristine checkpoint near its chunk — total pristine
 //!   forward simulation stays close to the sequential executor's instead
-//!   of growing with the thread count.
+//!   of growing with the thread count;
+//! * the machine is deterministic, so a faulted run whose live
+//!   architectural state matches a pristine checkpoint has provably the
+//!   same remaining behaviour as the golden run — the executor compares
+//!   state at each checkpoint crossed and classifies such runs
+//!   immediately instead of simulating the tail
+//!   ([`CampaignConfig::convergence`], on by default; outcomes stay
+//!   bit-identical to the naive replay executor either way).
 //!
 //! # Examples
 //!

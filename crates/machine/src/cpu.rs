@@ -52,8 +52,10 @@ enum State {
 /// The simulated machine: CPU registers, program counter, cycle counter,
 /// RAM, and the MMIO devices (serial sink, detection port, cycle counter).
 ///
-/// The instruction ROM is shared (`Arc`) between clones, so forking a
-/// machine for an injection experiment costs one RAM copy plus registers.
+/// The instruction ROM is shared (`Arc`) between clones and RAM is
+/// copy-on-write ([`Ram`]), so forking a machine for an injection
+/// experiment costs a page-table clone plus registers; pages are copied
+/// lazily as the fork writes to them.
 ///
 /// Cycle numbering follows the paper's fault-space convention: the n-th
 /// executed instruction runs *in cycle n* (1-based), and a fault coordinate
@@ -468,6 +470,90 @@ impl Machine {
         }
         None
     }
+
+    /// `true` when this machine's *future evolution* is provably identical
+    /// to `pristine`'s: both are still running at the same cycle with
+    /// identical registers, program counter, RAM contents, input latch,
+    /// pending external events, and serial-output length.
+    ///
+    /// The machine is deterministic, so equality of exactly this state
+    /// implies every subsequent step is identical — the campaign executor
+    /// uses it to terminate a faulted run early once it has converged back
+    /// onto a pristine checkpoint (the fault was masked or absorbed).
+    ///
+    /// Two fields are deliberately compared loosely:
+    ///
+    /// * the serial buffer matters to execution only through its *length*
+    ///   (the [`MachineConfig::serial_limit`] overflow trap); whether the
+    ///   bytes also match the golden output is an *observational* question
+    ///   the caller answers separately (serial-prefix check);
+    /// * `detect_count` is a pure output counter — a converged run with
+    ///   extra detections still replays the same tail, it just classifies
+    ///   as detected-and-corrected instead of no-effect.
+    ///
+    /// RAM comparison uses the copy-on-write page structure: pages still
+    /// `Arc`-shared between the two machines compare by pointer.
+    pub fn converged_with(&self, pristine: &Machine) -> bool {
+        self.converged_core(pristine) && self.regs == pristine.regs && self.ram == pristine.ram
+    }
+
+    /// [`Machine::converged_with`] restricted to *live* state: registers
+    /// and RAM bytes marked dead in `mask` are skipped.
+    ///
+    /// A dead location is one whose next access in the reference run
+    /// after the current cycle is a write, or that is never accessed
+    /// again. A run equal to the pristine machine in everything but dead
+    /// locations still evolves identically: every future read sees equal
+    /// values (a dead location is rewritten — with equal values — before
+    /// any read), so control flow, output and detections stay those of
+    /// the reference run, and the lingering differences are unobservable.
+    /// This catches the common masked-fault shape the strict comparison
+    /// cannot: a corrupted bit that simply goes dormant for the rest of
+    /// the run.
+    pub fn converged_with_masked(&self, pristine: &Machine, mask: &ConvergenceMask) -> bool {
+        self.converged_core(pristine)
+            && (0..16).all(|r| mask.reg_live & (1 << r) == 0 || self.regs[r] == pristine.regs[r])
+            && self.ram.eq_masked(&pristine.ram, &mask.ram_live)
+    }
+
+    /// The mask-independent part of the convergence comparison.
+    fn converged_core(&self, pristine: &Machine) -> bool {
+        debug_assert!(
+            Arc::ptr_eq(&self.rom, &pristine.rom) || self.rom == pristine.rom,
+            "convergence compare across different programs"
+        );
+        self.state == State::Running
+            && pristine.state == State::Running
+            && self.cycle == pristine.cycle
+            && self.pc == pristine.pc
+            && self.input_latch == pristine.input_latch
+            && self.next_event == pristine.next_event
+            && self.serial.len() == pristine.serial.len()
+    }
+}
+
+/// Which machine state is still *live* — able to influence the rest of a
+/// reference run — at a given point in time. Built by the campaign
+/// executor from the golden run's access traces, one mask per pristine
+/// checkpoint, and consumed by [`Machine::converged_with_masked`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvergenceMask {
+    /// Flat bitmask over RAM bytes: bit `i` set ⇔ byte `i` may still be
+    /// read before being rewritten.
+    pub ram_live: Vec<u8>,
+    /// Bitmask over registers `r0..r15`: bit `r` set ⇔ register `r` may
+    /// still be read before being rewritten.
+    pub reg_live: u16,
+}
+
+impl ConvergenceMask {
+    /// A mask with every byte and register live (strict comparison).
+    pub fn all_live(ram_bytes: usize) -> ConvergenceMask {
+        ConvergenceMask {
+            ram_live: vec![0xFF; ram_bytes.div_ceil(8)],
+            reg_live: u16::MAX,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -754,6 +840,165 @@ mod tests {
         assert_eq!(m.step(), StepResult::Halted { code: 3 });
         assert_eq!(m.step(), StepResult::Halted { code: 3 });
         assert_eq!(m.cycle(), 1);
+    }
+
+    #[test]
+    fn convergence_detects_masked_fault() {
+        // A value is written, corrupted, then overwritten before any read:
+        // after the overwrite the faulted fork is bit-identical to the
+        // pristine machine again.
+        let mut a = Asm::new();
+        let x = a.data_space("x", 4);
+        a.li(Reg::R1, 5);
+        a.sw(Reg::R1, Reg::R0, x.offset()); // cycle 3 (li is 2 insts)
+        a.li(Reg::R2, 9);
+        a.sw(Reg::R2, Reg::R0, x.offset()); // overwrites the fault
+        a.lw(Reg::R3, Reg::R0, x.offset());
+        a.serial_out(Reg::R3);
+        let p = a.build().unwrap();
+
+        let mut pristine = Machine::new(&p);
+        pristine.run_to(3);
+        let mut faulted = pristine.clone();
+        faulted.flip_bit(x.addr() as u64 * 8 + 1); // dead interval: dies at the sw
+        assert!(!faulted.converged_with(&pristine), "fault still live");
+        pristine.run_to(6);
+        faulted.run_to(6);
+        assert!(
+            faulted.converged_with(&pristine),
+            "overwrite masks the fault"
+        );
+    }
+
+    #[test]
+    fn masked_convergence_absorbs_dormant_faults() {
+        // The fault corrupts a byte that is read once more and then never
+        // accessed again: strict convergence never fires (RAM differs
+        // forever), masked convergence fires as soon as the byte is dead.
+        let mut a = Asm::new();
+        let x = a.data_bytes("x", &[0x40]);
+        a.lb(Reg::R1, Reg::R0, x.offset()); // only access to x
+        a.slti(Reg::R2, Reg::R1, 100); // 1 for golden and faulted values
+        a.mv(Reg::R1, Reg::R0); // kill the corrupted register copy
+        a.serial_out(Reg::R2);
+        a.nop();
+        let p = a.build().unwrap();
+
+        let mut pristine = Machine::new(&p);
+        let mut faulted = Machine::new(&p);
+        faulted.flip_bit(0); // x = 0x41: still < 100, comparison masks it
+        pristine.run_to(4);
+        faulted.run_to(4);
+        assert!(!faulted.converged_with(&pristine), "RAM still differs");
+
+        // x (byte 0) is dead from here on; everything else is live.
+        let mut mask = ConvergenceMask::all_live(1);
+        assert!(
+            !faulted.converged_with_masked(&pristine, &mask),
+            "all-live mask must behave like the strict comparison"
+        );
+        mask.ram_live[0] &= !1;
+        assert!(faulted.converged_with_masked(&pristine, &mask));
+
+        // A dead *register* difference is likewise absorbed.
+        let mut faulted = pristine.clone();
+        faulted.flip_reg_bit((3 - 1) * 32); // r3 never touched by the program
+        assert!(!faulted.converged_with(&pristine));
+        let mut mask = ConvergenceMask::all_live(1);
+        mask.reg_live &= !(1 << 3);
+        assert!(faulted.converged_with_masked(&pristine, &mask));
+    }
+
+    #[test]
+    fn convergence_rejects_any_architectural_difference() {
+        let mut a = Asm::new();
+        a.data_space("buf", 8);
+        for _ in 0..6 {
+            a.nop();
+        }
+        let p = a.build().unwrap();
+        let mut m1 = Machine::new(&p);
+        m1.run_to(2);
+        let m2 = m1.clone();
+        assert!(m1.converged_with(&m2));
+
+        let mut diverged = m2.clone();
+        diverged.flip_reg_bit(0);
+        assert!(!diverged.converged_with(&m1), "register difference");
+
+        let mut diverged = m2.clone();
+        diverged.flip_bit(0);
+        assert!(!diverged.converged_with(&m1), "RAM difference");
+
+        let mut diverged = m2.clone();
+        diverged.run_to(3);
+        assert!(!diverged.converged_with(&m1), "cycle difference");
+
+        let mut halted = m2.clone();
+        halted.run(100);
+        assert!(
+            !halted.converged_with(&m1),
+            "stopped machines never converge"
+        );
+    }
+
+    #[test]
+    fn convergence_ignores_detect_count_but_not_serial_length() {
+        // Equal-length paths: the faulted path signals a detection and
+        // scrubs the register, re-aligning cycle, pc and registers with
+        // the pristine run — only detect_count differs afterwards, and
+        // that must not block convergence (it decides NoEffect vs
+        // DetectedCorrected, not *whether* the tail is identical).
+        let mut a = Asm::new();
+        let clean = a.new_label();
+        let join = a.new_label();
+        a.beq(Reg::R1, Reg::R0, clean);
+        a.detect_signal(Reg::R1); // faulted path, 3 cycles
+        a.mv(Reg::R1, Reg::R0);
+        a.j(join);
+        a.bind(clean);
+        a.nop(); // pristine path, 3 cycles
+        a.nop();
+        a.nop();
+        a.bind(join);
+        a.serial_out(Reg::R1);
+        let p = a.build().unwrap();
+
+        let mut pristine = Machine::new(&p);
+        let mut faulted = Machine::new(&p);
+        faulted.flip_reg_bit(0); // r1 = 1: takes the detect path
+        pristine.run_to(4);
+        faulted.run_to(4);
+        assert_eq!(faulted.detect_count(), 1);
+        assert_eq!(pristine.detect_count(), 0);
+        assert!(faulted.converged_with(&pristine));
+
+        // A path that *wrote serial output* instead never converges, even
+        // with registers, pc and cycle re-aligned: the extra byte makes
+        // the final output differ from golden, which pure state
+        // comparison cannot absorb.
+        let mut a = Asm::new();
+        let clean = a.new_label();
+        let join = a.new_label();
+        a.beq(Reg::R1, Reg::R0, clean);
+        a.serial_out(Reg::R1);
+        a.mv(Reg::R1, Reg::R0);
+        a.j(join);
+        a.bind(clean);
+        a.nop();
+        a.nop();
+        a.nop();
+        a.bind(join);
+        a.halt(0);
+        let p = a.build().unwrap();
+        let mut pristine = Machine::new(&p);
+        let mut faulted = Machine::new(&p);
+        faulted.flip_reg_bit(0);
+        pristine.run_to(4);
+        faulted.run_to(4);
+        assert_eq!(faulted.pc(), pristine.pc());
+        assert_eq!(faulted.serial().len(), 1);
+        assert!(!faulted.converged_with(&pristine));
     }
 
     #[test]

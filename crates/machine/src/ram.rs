@@ -1,7 +1,30 @@
 //! Byte-addressable main memory with single-bit-flip injection.
+//!
+//! Storage is paged and copy-on-write: pages are [`Arc`]-shared between
+//! clones, and a clone only materializes its own copy of a page on the
+//! first write to it. Forking a machine for an injection experiment
+//! therefore costs `O(pages)` pointer bumps instead of a full RAM
+//! memcpy, and the campaign executor's convergence check can compare two
+//! related RAM images mostly by pointer equality.
 
 use crate::trap::Trap;
 use sofi_isa::MemWidth;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// Bytes per copy-on-write page. A power of two no smaller than the
+/// widest access (4 bytes), so a naturally aligned access never crosses
+/// a page boundary.
+pub const PAGE_BYTES: usize = 256;
+
+type Page = [u8; PAGE_BYTES];
+
+/// The all-zero page, shared by every freshly created RAM (and by every
+/// zero-initialized tail page), so `Ram::new` allocates nothing per page.
+fn zero_page() -> Arc<Page> {
+    static ZERO: OnceLock<Arc<Page>> = OnceLock::new();
+    ZERO.get_or_init(|| Arc::new([0; PAGE_BYTES])).clone()
+}
 
 /// Main memory: the only fault-susceptible component in the paper's model.
 ///
@@ -20,16 +43,21 @@ use sofi_isa::MemWidth;
 /// ram.flip_bit(0); // flip bit 0 of byte 0
 /// assert_eq!(ram.read(0, MemWidth::Word).unwrap(), 0xDEAD_BEEE);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Ram {
-    bytes: Vec<u8>,
+    size: u32,
+    /// COW pages; the last page is zero-padded past `size` and the
+    /// padding is unreachable through the bounds-checked API.
+    pages: Vec<Arc<Page>>,
 }
 
 impl Ram {
     /// Creates zero-filled RAM of `size` bytes.
     pub fn new(size: u32) -> Self {
+        let count = (size as usize).div_ceil(PAGE_BYTES);
         Ram {
-            bytes: vec![0; size as usize],
+            size,
+            pages: vec![zero_page(); count],
         }
     }
 
@@ -44,27 +72,96 @@ impl Ram {
             "image ({}) larger than RAM ({size})",
             image.len()
         );
-        let mut bytes = vec![0; size as usize];
-        bytes[..image.len()].copy_from_slice(image);
-        Ram { bytes }
+        let mut ram = Ram::new(size);
+        for (p, chunk) in image.chunks(PAGE_BYTES).enumerate() {
+            if chunk.iter().any(|&b| b != 0) {
+                let mut page = [0u8; PAGE_BYTES];
+                page[..chunk.len()].copy_from_slice(chunk);
+                ram.pages[p] = Arc::new(page);
+            }
+        }
+        ram
     }
 
     /// RAM size in bytes.
     #[inline]
     pub fn size(&self) -> u32 {
-        self.bytes.len() as u32
+        self.size
     }
 
     /// RAM size in bits (the fault-space memory extent `Δm`).
     #[inline]
     pub fn size_bits(&self) -> u64 {
-        self.bytes.len() as u64 * 8
+        self.size as u64 * 8
     }
 
-    /// Raw view of memory contents.
+    /// Contiguous copy of the memory contents (diagnostics and tests;
+    /// the storage itself is paged, so this materializes a fresh `Vec`).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size as usize);
+        for page in &self.pages {
+            let take = (self.size as usize - out.len()).min(PAGE_BYTES);
+            out.extend_from_slice(&page[..take]);
+        }
+        out
+    }
+
+    /// Reads one byte without width/alignment ceremony (diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr >= size()`.
     #[inline]
-    pub fn as_bytes(&self) -> &[u8] {
-        &self.bytes
+    pub fn byte(&self, addr: u32) -> u8 {
+        assert!(addr < self.size, "address {addr} outside RAM");
+        self.pages[addr as usize / PAGE_BYTES][addr as usize % PAGE_BYTES]
+    }
+
+    /// `true` if `self` and `other` share every page allocation (clone
+    /// that nobody has written through yet). Used by tests to verify the
+    /// copy-on-write behaviour; content equality is `==`.
+    pub fn shares_all_pages_with(&self, other: &Ram) -> bool {
+        self.size == other.size
+            && self
+                .pages
+                .iter()
+                .zip(&other.pages)
+                .all(|(a, b)| Arc::ptr_eq(a, b))
+    }
+
+    /// Content equality restricted to *live* bytes: byte `i` is compared
+    /// only when bit `i` of `live` is set (flat bitmask, one bit per RAM
+    /// byte). Pages still `Arc`-shared between the two RAMs are skipped
+    /// by pointer equality.
+    ///
+    /// The campaign executor uses this to detect convergence of faulted
+    /// runs: a byte whose next access in the reference run is a write —
+    /// or that is never accessed again — is *dead*, and a lingering
+    /// difference there can never influence execution or output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the RAM sizes differ or `live` is shorter than
+    /// `size().div_ceil(8)`.
+    pub fn eq_masked(&self, other: &Ram, live: &[u8]) -> bool {
+        assert_eq!(self.size, other.size, "masked compare of unequal RAMs");
+        assert!(
+            live.len() >= (self.size as usize).div_ceil(8),
+            "live mask shorter than RAM"
+        );
+        for (p, (a, b)) in self.pages.iter().zip(&other.pages).enumerate() {
+            if Arc::ptr_eq(a, b) {
+                continue;
+            }
+            let base = p * PAGE_BYTES;
+            let len = (self.size as usize - base).min(PAGE_BYTES);
+            for i in 0..len {
+                if a[i] != b[i] && live[(base + i) / 8] & (1 << ((base + i) % 8)) != 0 {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     fn check(&self, addr: u32, width: MemWidth) -> Result<usize, Trap> {
@@ -73,7 +170,7 @@ impl Ram {
             return Err(Trap::Misaligned { addr, width });
         }
         let end = addr as u64 + bytes as u64;
-        if end > self.bytes.len() as u64 {
+        if end > self.size as u64 {
             return Err(Trap::OutOfRange { addr });
         }
         Ok(addr as usize)
@@ -87,29 +184,32 @@ impl Ram {
     /// [`Trap::OutOfRange`] if the access crosses the end of RAM.
     pub fn read(&self, addr: u32, width: MemWidth) -> Result<u32, Trap> {
         let i = self.check(addr, width)?;
+        // Natural alignment keeps the access inside one page.
+        let page = &self.pages[i / PAGE_BYTES];
+        let o = i % PAGE_BYTES;
         Ok(match width {
-            MemWidth::Byte => self.bytes[i] as u32,
-            MemWidth::Half => u16::from_le_bytes([self.bytes[i], self.bytes[i + 1]]) as u32,
-            MemWidth::Word => u32::from_le_bytes([
-                self.bytes[i],
-                self.bytes[i + 1],
-                self.bytes[i + 2],
-                self.bytes[i + 3],
-            ]),
+            MemWidth::Byte => page[o] as u32,
+            MemWidth::Half => u16::from_le_bytes([page[o], page[o + 1]]) as u32,
+            MemWidth::Word => u32::from_le_bytes([page[o], page[o + 1], page[o + 2], page[o + 3]]),
         })
     }
 
     /// Writes the low `width` bytes of `value` at `addr` (little-endian).
+    ///
+    /// The first write to an `Arc`-shared page copies it (copy-on-write);
+    /// subsequent writes to the same page are in-place.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Ram::read`].
     pub fn write(&mut self, addr: u32, width: MemWidth, value: u32) -> Result<(), Trap> {
         let i = self.check(addr, width)?;
+        let page = Arc::make_mut(&mut self.pages[i / PAGE_BYTES]);
+        let o = i % PAGE_BYTES;
         match width {
-            MemWidth::Byte => self.bytes[i] = value as u8,
-            MemWidth::Half => self.bytes[i..i + 2].copy_from_slice(&(value as u16).to_le_bytes()),
-            MemWidth::Word => self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes()),
+            MemWidth::Byte => page[o] = value as u8,
+            MemWidth::Half => page[o..o + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            MemWidth::Word => page[o..o + 4].copy_from_slice(&value.to_le_bytes()),
         }
         Ok(())
     }
@@ -123,7 +223,9 @@ impl Ram {
     #[inline]
     pub fn flip_bit(&mut self, bit: u64) {
         assert!(bit < self.size_bits(), "bit {bit} outside RAM");
-        self.bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        let i = (bit / 8) as usize;
+        let page = Arc::make_mut(&mut self.pages[i / PAGE_BYTES]);
+        page[i % PAGE_BYTES] ^= 1 << (bit % 8);
     }
 
     /// Reads a single bit (for diagnostics and tests).
@@ -134,7 +236,36 @@ impl Ram {
     #[inline]
     pub fn bit(&self, bit: u64) -> bool {
         assert!(bit < self.size_bits(), "bit {bit} outside RAM");
-        self.bytes[(bit / 8) as usize] & (1 << (bit % 8)) != 0
+        let i = (bit / 8) as usize;
+        self.pages[i / PAGE_BYTES][i % PAGE_BYTES] & (1 << (bit % 8)) != 0
+    }
+}
+
+impl PartialEq for Ram {
+    /// Content equality with an `Arc::ptr_eq` fast path per page — two
+    /// RAMs forked from a common ancestor compare in O(pages) pointer
+    /// checks plus a memcmp per diverged page.
+    fn eq(&self, other: &Ram) -> bool {
+        self.size == other.size
+            && self
+                .pages
+                .iter()
+                .zip(&other.pages)
+                .all(|(a, b)| Arc::ptr_eq(a, b) || a[..] == b[..])
+    }
+}
+
+impl Eq for Ram {}
+
+impl fmt::Debug for Ram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Dumping whole pages would swamp Machine's derived Debug.
+        let owned = self.pages.iter().filter(|p| Arc::strong_count(p) == 1);
+        f.debug_struct("Ram")
+            .field("size", &self.size)
+            .field("pages", &self.pages.len())
+            .field("owned_pages", &owned.count())
+            .finish()
     }
 }
 
@@ -146,7 +277,7 @@ mod tests {
     fn little_endian_round_trip() {
         let mut ram = Ram::new(8);
         ram.write(4, MemWidth::Word, 0x0102_0304).unwrap();
-        assert_eq!(ram.as_bytes()[4..8], [0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(ram.to_vec()[4..8], [0x04, 0x03, 0x02, 0x01]);
         assert_eq!(ram.read(4, MemWidth::Half).unwrap(), 0x0304);
         assert_eq!(ram.read(6, MemWidth::Half).unwrap(), 0x0102);
         assert_eq!(ram.read(7, MemWidth::Byte).unwrap(), 0x01);
@@ -198,11 +329,11 @@ mod tests {
     fn flip_is_involution() {
         let mut ram = Ram::with_image(2, &[0xFF, 0x00]);
         for bit in 0..16 {
-            let before = ram.as_bytes().to_vec();
+            let before = ram.to_vec();
             ram.flip_bit(bit);
-            assert_ne!(ram.as_bytes(), &before[..]);
+            assert_ne!(ram.to_vec(), before);
             ram.flip_bit(bit);
-            assert_eq!(ram.as_bytes(), &before[..]);
+            assert_eq!(ram.to_vec(), before);
         }
     }
 
@@ -212,7 +343,7 @@ mod tests {
         assert!(!ram.bit(9));
         ram.flip_bit(9); // byte 1, bit 1
         assert!(ram.bit(9));
-        assert_eq!(ram.as_bytes(), &[0x00, 0x02]);
+        assert_eq!(ram.to_vec(), vec![0x00, 0x02]);
     }
 
     #[test]
@@ -224,12 +355,168 @@ mod tests {
     #[test]
     fn image_padding() {
         let ram = Ram::with_image(4, &[1, 2]);
-        assert_eq!(ram.as_bytes(), &[1, 2, 0, 0]);
+        assert_eq!(ram.to_vec(), vec![1, 2, 0, 0]);
     }
 
     #[test]
     #[should_panic(expected = "larger than RAM")]
     fn oversized_image_panics() {
         Ram::with_image(1, &[1, 2]);
+    }
+
+    #[test]
+    fn crosses_page_boundaries() {
+        // Accesses and flips on both sides of the first page boundary.
+        let size = (PAGE_BYTES as u32) * 2 + 8;
+        let mut ram = Ram::new(size);
+        let edge = PAGE_BYTES as u32;
+        ram.write(edge - 4, MemWidth::Word, 0xAABB_CCDD).unwrap();
+        ram.write(edge, MemWidth::Word, 0x1122_3344).unwrap();
+        assert_eq!(ram.read(edge - 4, MemWidth::Word).unwrap(), 0xAABB_CCDD);
+        assert_eq!(ram.read(edge, MemWidth::Word).unwrap(), 0x1122_3344);
+        ram.flip_bit((edge as u64) * 8); // first bit of page 1
+        assert_eq!(ram.read(edge, MemWidth::Word).unwrap(), 0x1122_3345);
+        // Last byte of the partial tail page.
+        ram.write(size - 1, MemWidth::Byte, 0x7F).unwrap();
+        assert_eq!(ram.byte(size - 1), 0x7F);
+    }
+
+    #[test]
+    fn clone_shares_pages_until_written() {
+        let mut a = Ram::with_image(1024, &[9; 700]);
+        let b = a.clone();
+        assert!(a.shares_all_pages_with(&b));
+        assert_eq!(a, b);
+        // Writing through one side copies exactly that page.
+        a.write(0, MemWidth::Byte, 1).unwrap();
+        assert!(!a.shares_all_pages_with(&b));
+        assert_ne!(a, b);
+        assert_eq!(b.byte(0), 9, "clone must not observe the write");
+        // Pages past the written one are still shared.
+        assert!(Arc::ptr_eq(&a.pages[1], &b.pages[1]));
+    }
+
+    #[test]
+    fn fresh_ram_shares_the_zero_page() {
+        let a = Ram::new(4 * PAGE_BYTES as u32);
+        let b = Ram::new(2 * PAGE_BYTES as u32);
+        assert!(Arc::ptr_eq(&a.pages[3], &b.pages[0]));
+    }
+
+    #[test]
+    fn equality_is_content_based_after_divergence() {
+        // Write the same value through two independent clones: the pages
+        // are no longer shared, but the RAMs still compare equal.
+        let base = Ram::new(512);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a.write(300, MemWidth::Word, 77).unwrap();
+        b.write(300, MemWidth::Word, 77).unwrap();
+        assert!(!a.shares_all_pages_with(&b));
+        assert_eq!(a, b);
+        b.flip_bit(300 * 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn masked_equality_ignores_dead_bytes() {
+        let base = Ram::new(512);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a.write(3, MemWidth::Byte, 0xAA).unwrap();
+        a.write(300, MemWidth::Byte, 0x55).unwrap();
+        b.write(300, MemWidth::Byte, 0x55).unwrap();
+        assert_ne!(a, b);
+
+        let mut all_live = vec![0xFFu8; 64];
+        assert!(!a.eq_masked(&b, &all_live));
+        // Mark byte 3 dead: the remaining difference is invisible.
+        all_live[0] &= !(1 << 3);
+        assert!(a.eq_masked(&b, &all_live));
+        // Shared pages are skipped even with an all-live mask.
+        assert!(base.eq_masked(&base.clone(), &[0xFFu8; 64]));
+        // A live difference in the diverged page is still caught.
+        b.flip_bit(301 * 8);
+        assert!(!a.eq_masked(&b, &all_live));
+    }
+
+    /// Equivalence sweep against the previous `Vec<u8>`-backed semantics:
+    /// a flat byte vector modeling what the old implementation stored.
+    #[test]
+    fn cow_matches_flat_vec_model() {
+        // Deterministic xorshift — the machine crate has no RNG dep.
+        let mut s = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for &size in &[1u32, 7, 255, 256, 257, 1000, 4096] {
+            let image: Vec<u8> = (0..size.min(300)).map(|_| next() as u8).collect();
+            let mut ram = Ram::with_image(size, &image);
+            let mut model = vec![0u8; size as usize];
+            model[..image.len()].copy_from_slice(&image);
+            let mut fork: Option<(Ram, Vec<u8>)> = None;
+            for step in 0..2_000u32 {
+                let op = next() % 4;
+                let addr = (next() % size as u64) as u32;
+                match op {
+                    0 => {
+                        let width = match next() % 3 {
+                            0 => MemWidth::Byte,
+                            1 => MemWidth::Half,
+                            _ => MemWidth::Word,
+                        };
+                        let value = next() as u32;
+                        let got = ram.write(addr, width, value);
+                        // Mirror into the model only on success.
+                        if got.is_ok() {
+                            let n = width.bytes() as usize;
+                            model[addr as usize..addr as usize + n]
+                                .copy_from_slice(&value.to_le_bytes()[..n]);
+                        } else {
+                            assert!(
+                                !addr.is_multiple_of(width.bytes())
+                                    || addr as u64 + width.bytes() as u64 > size as u64,
+                                "write rejected in-bounds aligned access"
+                            );
+                        }
+                    }
+                    1 => {
+                        let width = match next() % 3 {
+                            0 => MemWidth::Byte,
+                            1 => MemWidth::Half,
+                            _ => MemWidth::Word,
+                        };
+                        if let Ok(v) = ram.read(addr, width) {
+                            let n = width.bytes() as usize;
+                            let mut bytes = [0u8; 4];
+                            bytes[..n].copy_from_slice(&model[addr as usize..addr as usize + n]);
+                            assert_eq!(v, u32::from_le_bytes(bytes));
+                        }
+                    }
+                    2 => {
+                        let bit = next() % (size as u64 * 8);
+                        ram.flip_bit(bit);
+                        model[(bit / 8) as usize] ^= 1 << (bit % 8);
+                        assert_eq!(
+                            ram.bit(bit),
+                            model[(bit / 8) as usize] & (1 << (bit % 8)) != 0
+                        );
+                    }
+                    _ => {
+                        if step == 500 {
+                            // Fork mid-sweep; the fork must stay frozen.
+                            fork = Some((ram.clone(), model.clone()));
+                        }
+                    }
+                }
+            }
+            assert_eq!(ram.to_vec(), model, "size {size} diverged");
+            if let Some((fram, fmodel)) = fork {
+                assert_eq!(fram.to_vec(), fmodel, "size {size} fork was disturbed");
+            }
+        }
     }
 }

@@ -120,6 +120,18 @@ impl GoldenRun {
         self.cycles * self.ram_bits
     }
 
+    /// `true` if `observed` is a prefix of the reference serial output.
+    ///
+    /// Used by the campaign executor's convergence termination: a faulted
+    /// run whose machine state has converged back onto a pristine
+    /// checkpoint will emit exactly the golden *tail* from there on, so
+    /// its complete output equals golden iff the part already written is
+    /// a golden prefix — if it is not, the run is already a silent data
+    /// corruption and can be classified without simulating further.
+    pub fn matches_serial_prefix(&self, observed: &[u8]) -> bool {
+        self.serial.starts_with(observed)
+    }
+
     /// Digests the access trace into per-bit timelines.
     pub fn timelines(&self) -> Timelines {
         Timelines::build(&self.trace, self.ram_bits)
@@ -151,6 +163,23 @@ mod tests {
         assert_eq!(g.serial, vec![3]);
         assert_eq!(g.trace.len(), 2);
         assert_eq!(g.fault_space_size(), 24);
+    }
+
+    #[test]
+    fn serial_prefix_check() {
+        let mut a = Asm::new();
+        let x = a.data_bytes("x", b"abc");
+        for i in 0..3 {
+            a.lb(Reg::R1, Reg::R0, x.at(i).offset());
+            a.serial_out(Reg::R1);
+        }
+        let p = a.build().unwrap();
+        let g = GoldenRun::capture(&p, 1_000).unwrap();
+        assert!(g.matches_serial_prefix(b""));
+        assert!(g.matches_serial_prefix(b"ab"));
+        assert!(g.matches_serial_prefix(b"abc"));
+        assert!(!g.matches_serial_prefix(b"ax"));
+        assert!(!g.matches_serial_prefix(b"abcd"));
     }
 
     #[test]

@@ -272,7 +272,7 @@ fn machine_agrees_with_independent_model() {
                 "case {case}: register {r} disagrees"
             );
         }
-        assert_eq!(machine.ram().as_bytes(), &model.ram[..], "case {case}");
+        assert_eq!(machine.ram().to_vec(), &model.ram[..], "case {case}");
         assert_eq!(machine.cycle(), steps.len() as u64, "case {case}");
     }
 }
