@@ -47,9 +47,11 @@ fn bench_brute_force(c: &mut Criterion) {
 }
 
 /// One `BENCH_campaign.json` record: a (workload, domain) ablation over
-/// the three executor modes (naive replay, pristine forking, forking +
-/// convergence termination), all sequential so speedups isolate the
-/// algorithmic change.
+/// the four executor modes (naive replay, pristine forking, forking +
+/// convergence termination, and all of that + fault-equivalence
+/// memoization), all sequential so speedups isolate the algorithmic
+/// change. The memo timing resets the cache before every sample so it
+/// measures a cold-cache campaign, not a warm replay.
 struct AblationRow {
     workload: String,
     domain: String,
@@ -58,16 +60,23 @@ struct AblationRow {
     naive_secs: f64,
     fork_secs: f64,
     converge_secs: f64,
+    memo_secs: f64,
     naive_exp_per_sec: f64,
     fork_exp_per_sec: f64,
     converge_exp_per_sec: f64,
+    memo_exp_per_sec: f64,
     speedup_fork_vs_naive: f64,
     speedup_converge_vs_naive: f64,
+    speedup_memo_vs_naive: f64,
     pristine_cycles: u64,
     faulted_cycles: u64,
     converged_early: u64,
     faulted_cycles_saved: u64,
     early_termination_rate: f64,
+    memo_hits: u64,
+    memo_misses: u64,
+    memo_hit_rate: f64,
+    memoized_cycles_saved: u64,
 }
 sofi::report::impl_to_json!(AblationRow {
     workload,
@@ -77,16 +86,23 @@ sofi::report::impl_to_json!(AblationRow {
     naive_secs,
     fork_secs,
     converge_secs,
+    memo_secs,
     naive_exp_per_sec,
     fork_exp_per_sec,
     converge_exp_per_sec,
+    memo_exp_per_sec,
     speedup_fork_vs_naive,
     speedup_converge_vs_naive,
+    speedup_memo_vs_naive,
     pristine_cycles,
     faulted_cycles,
     converged_early,
     faulted_cycles_saved,
-    early_termination_rate
+    early_termination_rate,
+    memo_hits,
+    memo_misses,
+    memo_hit_rate,
+    memoized_cycles_saved
 });
 
 /// Minimum wall time of `f` over `samples` runs (plus one warm-up).
@@ -104,8 +120,9 @@ fn time_min(samples: usize, mut f: impl FnMut()) -> f64 {
 fn bench_campaign_ablation(_c: &mut Criterion) {
     // Ablation of the executor optimizations, recorded machine-readably:
     // naive replay-from-zero vs pristine forking vs forking + golden-state
-    // convergence termination. `SOFI_BENCH_SMOKE=1` restricts the sweep to
-    // the smallest workload so CI can exercise the whole path in seconds.
+    // convergence termination vs all of that + fault-equivalence outcome
+    // memoization. `SOFI_BENCH_SMOKE=1` restricts the sweep to the
+    // smallest workload so CI can exercise the whole path in seconds.
     let smoke = std::env::var_os("SOFI_BENCH_SMOKE").is_some();
     let workloads = if smoke {
         vec![hi()]
@@ -121,11 +138,20 @@ fn bench_campaign_ablation(_c: &mut Criterion) {
             &program,
             CampaignConfig {
                 convergence: false,
+                memoization: false,
                 ..CampaignConfig::sequential()
             },
         )
         .unwrap();
-        let converging = Campaign::with_config(&program, CampaignConfig::sequential()).unwrap();
+        let converging = Campaign::with_config(
+            &program,
+            CampaignConfig {
+                memoization: false,
+                ..CampaignConfig::sequential()
+            },
+        )
+        .unwrap();
+        let memoed = Campaign::with_config(&program, CampaignConfig::sequential()).unwrap();
         for domain in [FaultDomain::Memory, FaultDomain::RegisterFile] {
             let experiments = match domain {
                 FaultDomain::Memory => &plain.plan().experiments,
@@ -140,7 +166,16 @@ fn bench_campaign_ablation(_c: &mut Criterion) {
             let converge_secs = time_min(samples, || {
                 drop(converging.run_experiments_stats(domain, experiments))
             });
+            let memo_secs = time_min(samples, || {
+                // Cold-cache timing: the memo survives between samples
+                // (and between domains) otherwise, which would measure a
+                // warm replay instead of a fresh campaign.
+                memoed.reset_memo();
+                drop(memoed.run_experiments_stats(domain, experiments))
+            });
             let (_, stats) = converging.run_experiments_stats(domain, experiments);
+            memoed.reset_memo();
+            let (_, memo_stats) = memoed.run_experiments_stats(domain, experiments);
 
             let n = experiments.len() as f64;
             let row = AblationRow {
@@ -151,28 +186,38 @@ fn bench_campaign_ablation(_c: &mut Criterion) {
                 naive_secs,
                 fork_secs,
                 converge_secs,
+                memo_secs,
                 naive_exp_per_sec: n / naive_secs,
                 fork_exp_per_sec: n / fork_secs,
                 converge_exp_per_sec: n / converge_secs,
+                memo_exp_per_sec: n / memo_secs,
                 speedup_fork_vs_naive: naive_secs / fork_secs,
                 speedup_converge_vs_naive: naive_secs / converge_secs,
+                speedup_memo_vs_naive: naive_secs / memo_secs,
                 pristine_cycles: stats.pristine_cycles,
                 faulted_cycles: stats.faulted_cycles,
                 converged_early: stats.converged_early,
                 faulted_cycles_saved: stats.faulted_cycles_saved,
                 early_termination_rate: stats.early_termination_rate(),
+                memo_hits: memo_stats.memo_hits,
+                memo_misses: memo_stats.memo_misses,
+                memo_hit_rate: memo_stats.memo_hit_rate(),
+                memoized_cycles_saved: memo_stats.memoized_cycles_saved,
             };
             println!(
                 "  {:<12} {:<12} naive {:>9.1} exp/s  fork {:>9.1} exp/s  converge {:>9.1} exp/s  \
-                 ({:.2}x / {:.2}x, {:.0}% early)",
+                 +memo {:>9.1} exp/s  ({:.2}x / {:.2}x / {:.2}x, {:.0}% early, {:.0}% memo hits)",
                 row.workload,
                 row.domain,
                 row.naive_exp_per_sec,
                 row.fork_exp_per_sec,
                 row.converge_exp_per_sec,
+                row.memo_exp_per_sec,
                 row.speedup_fork_vs_naive,
                 row.speedup_converge_vs_naive,
-                row.early_termination_rate * 100.0
+                row.speedup_memo_vs_naive,
+                row.early_termination_rate * 100.0,
+                row.memo_hit_rate * 100.0
             );
             rows.push(row);
         }

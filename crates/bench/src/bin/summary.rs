@@ -88,7 +88,7 @@ fn main() {
     println!("the absolute-failure-count metric exposes the ones that are not (§V-B).");
 
     println!();
-    println!("== Executor counters (full def/use scans, convergence termination on) ==");
+    println!("== Executor counters (full def/use scans, convergence + memoization on) ==");
     let mut e = Table::new(vec![
         "campaign",
         "experiments",
@@ -96,6 +96,9 @@ fn main() {
         "faulted cyc",
         "early-term",
         "cyc saved",
+        "memo hits",
+        "memo misses",
+        "memo cyc saved",
     ]);
     for (name, s) in &exec_rows {
         e.row(vec![
@@ -109,6 +112,9 @@ fn main() {
                 s.early_termination_rate() * 100.0
             ),
             s.faulted_cycles_saved.to_string(),
+            format!("{} ({:.0}%)", s.memo_hits, s.memo_hit_rate() * 100.0),
+            s.memo_misses.to_string(),
+            s.memoized_cycles_saved.to_string(),
         ]);
     }
     println!("{e}");

@@ -19,6 +19,17 @@ pub struct CampaignConfig {
     /// provably identical either way; the knob exists for ablation
     /// benchmarks and for debugging the executor itself.
     pub convergence: bool,
+    /// Memoize experiment outcomes by post-injection architectural state
+    /// (dynamic fault equivalence): two injections producing the same
+    /// machine state at the same cycle must — on a deterministic machine
+    /// — have the same outcome, so the second is recorded from the
+    /// per-campaign cache without simulating. Lookups and insertions
+    /// also happen at every pristine-checkpoint crossing, so runs that
+    /// converge *into* an already-explored trajectory hit too. Outcomes
+    /// are provably identical either way (oracle:
+    /// `tests/memoization_oracle.rs`); the knob exists for ablation and
+    /// debugging, like [`CampaignConfig::convergence`].
+    pub memoization: bool,
     /// Machine limits used for experiment runs.
     pub machine: MachineConfig,
 }
@@ -30,6 +41,7 @@ impl Default for CampaignConfig {
             timeout_factor: 3,
             timeout_slack: 1_000,
             convergence: true,
+            memoization: true,
             machine: MachineConfig::default(),
         }
     }

@@ -4,10 +4,11 @@ use crate::config::CampaignConfig;
 use crate::outcome::Outcome;
 use crate::result::{CampaignResult, ExperimentResult, FaultDomain};
 use sofi_isa::Program;
-use sofi_machine::{AccessKind, ConvergenceMask, ExternalEvent, Machine};
+use sofi_machine::{AccessKind, ConvergenceMask, ExternalEvent, Machine, StateDigest};
 use sofi_space::{DefUseAnalysis, Experiment, InjectionPlan};
 use sofi_trace::{GoldenError, GoldenRun};
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Default cycle limit for capturing golden runs.
 const GOLDEN_CYCLE_LIMIT: u64 = 50_000_000;
@@ -42,6 +43,19 @@ pub struct ExecutorStats {
     /// a converged run is provably identical to golden for its remaining
     /// `golden_cycles − checkpoint_cycle` tail.
     pub faulted_cycles_saved: u64,
+    /// Successful fault-equivalence cache lookups: experiments resolved
+    /// without simulation at the injection point, plus running
+    /// experiments resolved at a checkpoint crossing by re-entering an
+    /// already-explored trajectory. An experiment can contribute both a
+    /// miss (at injection) and a hit (mid-run), so `memo_hits +
+    /// memo_misses` may exceed `experiments`.
+    pub memo_hits: u64,
+    /// Experiments whose injection-point memo lookup missed (the run was
+    /// simulated and its state digests inserted into the cache).
+    pub memo_misses: u64,
+    /// Faulted cycles *not* simulated thanks to memo hits: the cached
+    /// final cycle minus the cycle at which the hit occurred.
+    pub memoized_cycles_saved: u64,
 }
 
 impl ExecutorStats {
@@ -54,6 +68,17 @@ impl ExecutorStats {
         }
     }
 
+    /// Fraction of memo lookups that hit (`0.0` when memoization never
+    /// ran).
+    pub fn memo_hit_rate(&self) -> f64 {
+        let lookups = self.memo_hits + self.memo_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / lookups as f64
+        }
+    }
+
     /// Folds a worker's counters into this (campaign-level) record.
     fn absorb(&mut self, worker: &ExecutorStats) {
         self.workers += worker.workers;
@@ -62,6 +87,58 @@ impl ExecutorStats {
         self.faulted_cycles += worker.faulted_cycles;
         self.converged_early += worker.converged_early;
         self.faulted_cycles_saved += worker.faulted_cycles_saved;
+        self.memo_hits += worker.memo_hits;
+        self.memo_misses += worker.memo_misses;
+        self.memoized_cycles_saved += worker.memoized_cycles_saved;
+    }
+}
+
+/// One memoized outcome: what a run in this exact architectural state
+/// classified as, and the cycle at which it finished (for the
+/// cycles-saved accounting on later hits).
+#[derive(Debug, Clone, Copy)]
+struct MemoEntry {
+    outcome: Outcome,
+    final_cycle: u64,
+}
+
+/// The per-campaign fault-equivalence memo: `(cycle, state digest) →
+/// outcome`. Shared (`Arc`) between campaign clones and across worker
+/// threads and fault domains — a register-domain injection and a
+/// memory-domain injection that produce the same machine state are the
+/// same experiment dynamically, and either may pay for the other.
+///
+/// Soundness: the machine is deterministic and the cycle budget is a
+/// campaign constant, so the full architectural state at a given cycle
+/// determines the rest of the run — final status, serial output and
+/// detection count — and therefore the outcome. [`Machine::state_digest`]
+/// covers exactly that state (128 bits, so a wrong hit needs a hash
+/// collision); `tests/memoization_oracle.rs` and the fuzz battery hold
+/// the memoized executor to bit-identical results against naive replay.
+#[derive(Debug, Default)]
+struct MemoCache {
+    entries: Mutex<HashMap<(u64, StateDigest), MemoEntry>>,
+}
+
+impl MemoCache {
+    fn get(&self, key: &(u64, StateDigest)) -> Option<MemoEntry> {
+        self.entries.lock().unwrap().get(key).copied()
+    }
+
+    /// Inserts `entry` under every key, keeping existing entries (any
+    /// previously recorded outcome for the same state is equally valid).
+    fn insert_all(&self, keys: &[(u64, StateDigest)], entry: MemoEntry) {
+        if keys.is_empty() {
+            return;
+        }
+        let mut map = self.entries.lock().unwrap();
+        for &key in keys {
+            map.entry(key).or_insert(entry);
+        }
+    }
+
+    fn clear(&self) {
+        self.entries.lock().unwrap().clear();
     }
 }
 
@@ -85,15 +162,21 @@ pub struct Campaign {
     /// cycle 0, and faulted runs compare against the snapshots to
     /// early-terminate once they have converged back onto the golden run.
     checkpoints: OnceLock<Vec<Checkpoint>>,
+    /// Fault-equivalence outcome memo (see [`MemoCache`]); populated and
+    /// consulted only when [`CampaignConfig::memoization`] is on.
+    memo: Arc<MemoCache>,
 }
 
 /// One pristine snapshot: the machine state after `machine.cycle()`
-/// instructions and the set of RAM bytes / registers that are still
-/// *live* (readable before being rewritten) from that cycle on.
+/// instructions, the set of RAM bytes / registers that are still *live*
+/// (readable before being rewritten) from that cycle on, and the
+/// snapshot's architectural-state digest (used to pre-seed the memo:
+/// a faulted run in *exactly* this state replays the golden tail).
 #[derive(Debug, Clone)]
 struct Checkpoint {
     machine: Machine,
     mask: ConvergenceMask,
+    digest: StateDigest,
 }
 
 impl Campaign {
@@ -149,6 +232,7 @@ impl Campaign {
             reg_plan,
             config,
             checkpoints: OnceLock::new(),
+            memo: Arc::new(MemoCache::default()),
         })
     }
 
@@ -298,9 +382,18 @@ impl Campaign {
     /// it crosses and compares its architectural state against the stored
     /// snapshot ([`Machine::converged_with`]): on a match the rest of the
     /// run is provably identical to golden, so the outcome is classified
-    /// immediately instead of simulating the tail. Results are
-    /// `assert_eq!`-identical to [`Campaign::run_experiments_naive`] in
-    /// both cases.
+    /// immediately instead of simulating the tail.
+    ///
+    /// When [`CampaignConfig::memoization`] is on (the default), each
+    /// experiment's post-injection state digest is additionally looked up
+    /// in the campaign's fault-equivalence memo — two injections that
+    /// produce the identical architectural state at the same cycle have
+    /// the identical outcome on a deterministic machine, so the second
+    /// one is free. Lookups and insertions also happen at every
+    /// checkpoint crossing, so runs converging *into* an explored
+    /// trajectory hit mid-flight. Results are `assert_eq!`-identical to
+    /// [`Campaign::run_experiments_naive`] with any combination of the
+    /// two knobs.
     pub fn run_experiments_stats(
         &self,
         domain: FaultDomain,
@@ -310,11 +403,12 @@ impl Campaign {
             .config
             .effective_threads()
             .min(experiments.len().max(1));
-        let checkpoints: &[Checkpoint] = if self.config.convergence || threads > 1 {
-            self.checkpoints()
-        } else {
-            &[]
-        };
+        let checkpoints: &[Checkpoint] =
+            if self.config.convergence || self.config.memoization || threads > 1 {
+                self.checkpoints()
+            } else {
+                &[]
+            };
         if threads <= 1 {
             return self.run_worker(
                 domain,
@@ -366,7 +460,11 @@ impl Campaign {
     fn checkpoints(&self) -> &[Checkpoint] {
         self.checkpoints.get_or_init(|| {
             let base = 8 * self.config.effective_threads() as u64;
-            let floor = if self.config.convergence { 64 } else { 16 };
+            let floor = if self.config.convergence || self.config.memoization {
+                64
+            } else {
+                16
+            };
             let count = base.clamp(floor, 256);
             let spacing = (self.golden.cycles / count).max(1);
             let mut machine = self.fresh_machine();
@@ -375,16 +473,61 @@ impl Campaign {
             while cycle < self.golden.cycles {
                 let early = machine.run_to(cycle);
                 debug_assert!(early.is_none(), "golden run outlived itself");
-                snapshots.push(machine.clone());
+                // Digesting the running machine (not the clone) keeps its
+                // page-hash cache warm, so each snapshot digest only
+                // re-hashes pages written since the previous checkpoint
+                // and every clone of a snapshot inherits a warm cache.
+                let digest = machine.state_digest();
+                snapshots.push((machine.clone(), digest));
                 cycle += spacing;
             }
-            let masks = self.convergence_masks(&snapshots);
-            snapshots
+            let cycles: Vec<u64> = snapshots.iter().map(|(m, _)| m.cycle()).collect();
+            let masks = self.convergence_masks(&cycles);
+            let checkpoints: Vec<Checkpoint> = snapshots
                 .into_iter()
                 .zip(masks)
-                .map(|(machine, mask)| Checkpoint { machine, mask })
-                .collect()
+                .map(|((machine, digest), mask)| Checkpoint {
+                    machine,
+                    mask,
+                    digest,
+                })
+                .collect();
+            if self.config.memoization {
+                self.seed_memo(&checkpoints);
+            }
+            checkpoints
         })
+    }
+
+    /// Pre-seeds the memo with every pristine checkpoint state: a faulted
+    /// run whose architectural state is *exactly* the pristine machine's
+    /// at a checkpoint cycle (fault fully overwritten, no output or
+    /// detection divergence — the digest covers all of it) replays the
+    /// golden tail verbatim and is [`Outcome::NoEffect`] by construction.
+    fn seed_memo(&self, checkpoints: &[Checkpoint]) {
+        let keys: Vec<(u64, StateDigest)> = checkpoints
+            .iter()
+            .map(|c| (c.machine.cycle(), c.digest))
+            .collect();
+        self.memo.insert_all(
+            &keys,
+            MemoEntry {
+                outcome: Outcome::NoEffect,
+                final_cycle: self.golden.cycles,
+            },
+        );
+    }
+
+    /// Clears the fault-equivalence memo (re-seeding the pristine
+    /// checkpoint states). Outcomes never depend on cache contents; this
+    /// exists so ablation benchmarks can time cold-cache campaigns.
+    pub fn reset_memo(&self) {
+        self.memo.clear();
+        if self.config.memoization {
+            if let Some(checkpoints) = self.checkpoints.get() {
+                self.seed_memo(checkpoints);
+            }
+        }
     }
 
     /// Computes, for each snapshot, which RAM bytes and registers are
@@ -393,7 +536,7 @@ impl Campaign {
     /// rewritten before any read (or never touched again), so a faulted
     /// run may differ there and still be observationally identical to
     /// golden — [`Machine::converged_with_masked`] exploits exactly this.
-    fn convergence_masks(&self, snapshots: &[Machine]) -> Vec<ConvergenceMask> {
+    fn convergence_masks(&self, snapshot_cycles: &[u64]) -> Vec<ConvergenceMask> {
         let ram_bytes = (self.golden.ram_bits / 8) as usize;
         // Access history per RAM byte and per register, in execution
         // order (the traces are cycle-sorted already).
@@ -412,10 +555,9 @@ impl Campaign {
             let next = hist.partition_point(|&(cycle, _)| cycle <= c);
             matches!(hist.get(next), Some(&(_, true)))
         };
-        snapshots
+        snapshot_cycles
             .iter()
-            .map(|m| {
-                let c = m.cycle();
+            .map(|&c| {
                 let mut ram_live = vec![0u8; ram_bytes.div_ceil(8)];
                 for (b, hist) in mem.iter().enumerate() {
                     if live_after(hist, c) {
@@ -505,6 +647,12 @@ impl Campaign {
                 "golden-derived plan outlived the program (cycle {})",
                 e.coord.cycle
             );
+            if self.config.memoization {
+                // Warm the pristine machine's page-hash cache so the
+                // fork's injection-point digest below only re-hashes the
+                // page the bit-flip dirties (none, for register faults).
+                let _ = pristine.state_digest();
+            }
             let mut m = pristine.clone();
             match domain {
                 FaultDomain::Memory => m.flip_bit(e.coord.bit),
@@ -541,6 +689,14 @@ impl Campaign {
     /// that the golden run rewrites before reading (or never touches
     /// again) are excluded, so faults that simply go dormant for the rest
     /// of the run also terminate early.
+    ///
+    /// With memoization enabled, the run first looks up its
+    /// post-injection `(cycle, state digest)` in the campaign memo and
+    /// returns the cached outcome on a hit; on a miss it simulates,
+    /// repeating the lookup at every checkpoint crossing (before the
+    /// convergence comparison, so exact re-entries into explored
+    /// trajectories — including the pre-seeded pristine states — resolve
+    /// as hits), and finally inserts every state it passed through.
     fn run_faulted(
         &self,
         m: &mut Machine,
@@ -549,33 +705,100 @@ impl Campaign {
     ) -> Outcome {
         let budget = self.config.cycle_budget(self.golden.cycles);
         let start_cycle = m.cycle();
+        let memoize = self.config.memoization;
+        // State digests this run passes through; on completion every one
+        // of them maps to the run's outcome, so later injections that
+        // converge *into* this trajectory hit at their next checkpoint.
+        let mut waypoints: Vec<(u64, StateDigest)> = Vec::new();
+        if memoize {
+            // Injection-point lookup: an earlier experiment (in either
+            // fault domain) that produced this exact post-injection state
+            // already determined the outcome.
+            let key = (m.cycle(), m.state_digest());
+            if let Some(hit) = self.memo.get(&key) {
+                stats.memo_hits += 1;
+                stats.memoized_cycles_saved += hit.final_cycle.saturating_sub(m.cycle());
+                return hit.outcome;
+            }
+            stats.memo_misses += 1;
+            waypoints.push(key);
+        }
         // Early termination is only sound if a converged run's tail — the
         // rest of the golden run — fits the budget; with any sane timeout
         // configuration it does (budget ≥ golden runtime).
-        if self.config.convergence && self.golden.cycles <= budget {
+        if (self.config.convergence || memoize) && self.golden.cycles <= budget {
             let first = checkpoints.partition_point(|c| c.machine.cycle() <= m.cycle());
             for ckpt in &checkpoints[first..] {
                 if let Some(status) = m.run_to(ckpt.machine.cycle()) {
                     stats.faulted_cycles += m.cycle() - start_cycle;
-                    return Outcome::classify(status, m.serial(), m.detect_count(), &self.golden);
+                    let outcome =
+                        Outcome::classify(status, m.serial(), m.detect_count(), &self.golden);
+                    self.memo.insert_all(
+                        &waypoints,
+                        MemoEntry {
+                            outcome,
+                            final_cycle: m.cycle(),
+                        },
+                    );
+                    return outcome;
                 }
-                if m.converged_with_masked(&ckpt.machine, &ckpt.mask) {
+                if memoize {
+                    // Checkpoint-crossing lookup, deliberately *before*
+                    // the convergence comparison: runs re-entering an
+                    // already-explored trajectory — most commonly the
+                    // exact pristine state, pre-seeded per checkpoint —
+                    // resolve here and also donate their own waypoints.
+                    let key = (m.cycle(), m.state_digest());
+                    if let Some(hit) = self.memo.get(&key) {
+                        stats.faulted_cycles += m.cycle() - start_cycle;
+                        stats.memo_hits += 1;
+                        stats.memoized_cycles_saved += hit.final_cycle.saturating_sub(m.cycle());
+                        self.memo.insert_all(
+                            &waypoints,
+                            MemoEntry {
+                                outcome: hit.outcome,
+                                final_cycle: hit.final_cycle,
+                            },
+                        );
+                        return hit.outcome;
+                    }
+                    waypoints.push(key);
+                }
+                if self.config.convergence && m.converged_with_masked(&ckpt.machine, &ckpt.mask) {
                     stats.faulted_cycles += m.cycle() - start_cycle;
                     stats.converged_early += 1;
                     stats.faulted_cycles_saved += self.golden.cycles - m.cycle();
-                    return if !self.golden.matches_serial_prefix(m.serial()) {
+                    let outcome = if !self.golden.matches_serial_prefix(m.serial()) {
                         Outcome::SilentDataCorruption
                     } else if m.detect_count() > ckpt.machine.detect_count() {
                         Outcome::DetectedCorrected
                     } else {
                         Outcome::NoEffect
                     };
+                    // A converged run finishes (virtually) at the golden
+                    // run's end; its recorded trajectory is still exact.
+                    self.memo.insert_all(
+                        &waypoints,
+                        MemoEntry {
+                            outcome,
+                            final_cycle: self.golden.cycles,
+                        },
+                    );
+                    return outcome;
                 }
             }
         }
         let status = m.run(budget);
         stats.faulted_cycles += m.cycle() - start_cycle;
-        Outcome::classify(status, m.serial(), m.detect_count(), &self.golden)
+        let outcome = Outcome::classify(status, m.serial(), m.detect_count(), &self.golden);
+        self.memo.insert_all(
+            &waypoints,
+            MemoEntry {
+                outcome,
+                final_cycle: m.cycle(),
+            },
+        );
+        outcome
     }
 }
 
@@ -805,11 +1028,21 @@ mod tests {
     fn convergence_agrees_with_naive_and_saves_work() {
         for domain in [FaultDomain::Memory, FaultDomain::RegisterFile] {
             let p = sofi_workloads::fib(sofi_workloads::Variant::Baseline);
-            let with = Campaign::with_config(&p, CampaignConfig::sequential()).unwrap();
+            // Memoization off on both sides: this test isolates the
+            // convergence optimization against the plain fork executor.
+            let with = Campaign::with_config(
+                &p,
+                CampaignConfig {
+                    memoization: false,
+                    ..CampaignConfig::sequential()
+                },
+            )
+            .unwrap();
             let without = Campaign::with_config(
                 &p,
                 CampaignConfig {
                     convergence: false,
+                    memoization: false,
                     ..CampaignConfig::sequential()
                 },
             )
@@ -842,6 +1075,160 @@ mod tests {
             assert!(on_stats.early_termination_rate() > 0.0);
             assert_eq!(on_stats.experiments, experiments.len() as u64);
         }
+    }
+
+    /// A scrub-style program where many distinct faults collapse onto the
+    /// *same* post-correction state: load a protected byte, restore its
+    /// stored copy, and take an equal-length detect-and-zero path for any
+    /// corruption. Every fault in the byte's live interval ends in the
+    /// identical state (pristine + one detection) right after the join,
+    /// so the memo must resolve all but the first one at a checkpoint.
+    fn scrub_program() -> Program {
+        let mut a = Asm::with_name("memo_scrub");
+        let x = a.data_bytes("x", &[0]);
+        let clean = a.new_label();
+        let join = a.new_label();
+        a.lb(Reg::R1, Reg::R0, x.offset()); // may be corrupted
+        a.sb(Reg::R0, Reg::R0, x.offset()); // scrub the stored copy
+        a.beq(Reg::R1, Reg::R0, clean);
+        a.detect_signal(Reg::R1); // faulted path: 3 cycles
+        a.mv(Reg::R1, Reg::R0);
+        a.j(join);
+        a.bind(clean);
+        a.nop(); // clean path: 3 cycles
+        a.nop();
+        a.nop();
+        a.bind(join);
+        for _ in 0..200 {
+            a.nop();
+        }
+        a.li(Reg::R2, b'k' as i32);
+        a.serial_out(Reg::R2);
+        a.build().unwrap()
+    }
+
+    #[test]
+    fn memoized_executor_agrees_with_naive_and_hits() {
+        // Memoization alone (convergence off, so the memo is the only
+        // early-termination mechanism).
+        let p = scrub_program();
+        let c = Campaign::with_config(
+            &p,
+            CampaignConfig {
+                convergence: false,
+                ..CampaignConfig::sequential()
+            },
+        )
+        .unwrap();
+        let experiments = c.plan().experiments.clone();
+        let naive = c.run_experiments_naive(FaultDomain::Memory, &experiments);
+        let (results, stats) = c.run_experiments_stats(FaultDomain::Memory, &experiments);
+        assert_eq!(results, naive, "memoization changed outcomes");
+        assert!(stats.memo_misses + stats.memo_hits >= stats.experiments);
+        assert!(
+            stats.memo_hits > 0,
+            "all 8 faults in the protected byte collapse onto one \
+             post-scrub state; at most one may miss ({stats:?})"
+        );
+        assert!(stats.memoized_cycles_saved > 0);
+        assert!(
+            results
+                .iter()
+                .any(|r| r.outcome == Outcome::DetectedCorrected),
+            "scrub program should detect-and-correct"
+        );
+
+        // Second pass over the same plan: every injection state is now
+        // cached, so nothing simulates at all.
+        let (again, warm) = c.run_experiments_stats(FaultDomain::Memory, &experiments);
+        assert_eq!(again, naive);
+        assert_eq!(warm.memo_hits, warm.experiments);
+        assert_eq!(warm.memo_misses, 0);
+        assert_eq!(warm.faulted_cycles, 0, "warm cache: zero simulation");
+
+        // reset_memo restores cold-cache behaviour (for ablation timing).
+        c.reset_memo();
+        let (cold, cold_stats) = c.run_experiments_stats(FaultDomain::Memory, &experiments);
+        assert_eq!(cold, naive);
+        assert!(cold_stats.memo_misses > 0, "reset did not clear the memo");
+    }
+
+    #[test]
+    fn memoization_composes_with_convergence() {
+        // Both optimizations on (the default): results still match naive
+        // replay, and the memo lookup ordering (before the convergence
+        // comparison) still produces hits.
+        let p = scrub_program();
+        let c = Campaign::with_config(&p, CampaignConfig::sequential()).unwrap();
+        for domain in [FaultDomain::Memory, FaultDomain::RegisterFile] {
+            let experiments = match domain {
+                FaultDomain::Memory => c.plan().experiments.clone(),
+                FaultDomain::RegisterFile => c.register_plan().experiments.clone(),
+            };
+            let naive = c.run_experiments_naive(domain, &experiments);
+            let (results, stats) = c.run_experiments_stats(domain, &experiments);
+            assert_eq!(
+                results, naive,
+                "{domain:?}: memo+convergence changed outcomes"
+            );
+            assert_eq!(stats.experiments, experiments.len() as u64);
+            if domain == FaultDomain::Memory {
+                assert!(stats.memo_hits > 0, "{domain:?}: expected hits ({stats:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn memoization_off_is_inert() {
+        let p = scrub_program();
+        let c = Campaign::with_config(
+            &p,
+            CampaignConfig {
+                memoization: false,
+                ..CampaignConfig::sequential()
+            },
+        )
+        .unwrap();
+        let (results, stats) = c.run_experiments_stats(FaultDomain::Memory, &c.plan().experiments);
+        assert_eq!(stats.memo_hits, 0);
+        assert_eq!(stats.memo_misses, 0);
+        assert_eq!(stats.memoized_cycles_saved, 0);
+        let naive = c.run_experiments_naive(FaultDomain::Memory, &c.plan().experiments);
+        assert_eq!(results, naive);
+    }
+
+    #[test]
+    fn memo_is_shared_across_fault_domains() {
+        // A register-file flip of a loaded copy and a memory flip of the
+        // byte it was loaded from produce the same post-injection
+        // machine state one cycle apart in general — but after the scrub
+        // joins, both trajectories pass the same post-correction states,
+        // so running the memory domain first must produce hits in the
+        // register domain (cross-domain dynamic equivalence).
+        let p = scrub_program();
+        let c = Campaign::with_config(
+            &p,
+            CampaignConfig {
+                convergence: false,
+                ..CampaignConfig::sequential()
+            },
+        )
+        .unwrap();
+        let (_, mem_stats) = c.run_experiments_stats(FaultDomain::Memory, &c.plan().experiments);
+        let (reg_results, reg_stats) =
+            c.run_experiments_stats(FaultDomain::RegisterFile, &c.register_plan().experiments);
+        let naive =
+            c.run_experiments_naive(FaultDomain::RegisterFile, &c.register_plan().experiments);
+        assert_eq!(reg_results, naive);
+        assert!(
+            mem_stats.memo_misses > 0,
+            "memory domain ran first and populated the cache"
+        );
+        assert!(
+            reg_stats.memo_hits > 0,
+            "register-domain runs should re-enter memory-domain \
+             trajectories ({reg_stats:?})"
+        );
     }
 
     #[test]

@@ -39,7 +39,7 @@ mod program;
 mod reg;
 
 pub use asm::{Asm, DataLabel, Label};
-pub use encode::{decode, encode};
+pub use encode::{decode, encode, BRANCH_MAX, BRANCH_MIN, JAL_MAX};
 pub use error::{AsmError, DecodeError};
 pub use inst::{BranchKind, Inst, MemWidth, Opcode, RegOps};
 pub use parse::assemble_text;

@@ -24,9 +24,18 @@
 //! Comments start with `;` or `#`. Character literals (`'H'`), decimal and
 //! `0x` hexadecimal immediates are accepted. Data symbols may be used as
 //! load/store offsets (`msg(r0)`, `msg+4(r0)`) and as `li`/`la` operands.
+//!
+//! Branch targets and `jal`/`j` targets may be labels or numbers: a
+//! numeric branch operand (e.g. `beq r1, r2, +3`) is a relative offset in
+//! instructions exactly as [`crate::Inst`] stores (and displays) it, and a
+//! numeric jump operand is an absolute instruction index. This makes the
+//! assembler a left inverse of the instruction [`std::fmt::Display`] form
+//! (see `tests/roundtrip.rs`).
 
 use crate::asm::{Asm, Label};
+use crate::encode::{BRANCH_MAX, BRANCH_MIN, JAL_MAX};
 use crate::error::AsmError;
+use crate::inst::{BranchKind, Inst};
 use crate::program::Program;
 use crate::Reg;
 use std::collections::HashMap;
@@ -262,7 +271,9 @@ fn parse_imm_str(s: &str, syms: &HashMap<String, u32>) -> Result<i64, String> {
     }
     let (neg, body) = match s.strip_prefix('-') {
         Some(b) => (true, b),
-        None => (false, s),
+        // Branch offsets display with an explicit sign (`{:+}`), so a
+        // leading `+` must parse — including before a hex body.
+        None => (false, s.strip_prefix('+').unwrap_or(s)),
     };
     let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
         i64::from_str_radix(hex, 16)
@@ -298,6 +309,15 @@ fn parse_mem_operand(s: &str, syms: &HashMap<String, u32>) -> Result<(Reg, i16),
 
 fn imm16(v: i64) -> Result<i16, String> {
     i16::try_from(v).map_err(|_| format!("immediate {v} out of i16 range"))
+}
+
+/// A numeric `jal`/`j` operand: an absolute instruction index.
+fn jal_target(s: &str, syms: &HashMap<String, u32>) -> Result<u32, String> {
+    let v = parse_imm_str(s, syms)?;
+    if !(0..=JAL_MAX as i64).contains(&v) {
+        return Err(format!("jal target {v} out of range"));
+    }
+    Ok(v as u32)
 }
 
 #[allow(clippy::too_many_lines)]
@@ -396,51 +416,76 @@ fn parse_inst(
             let (b, o) = mem(1)?;
             asm.sw(reg(0)?, b, o)
         }
-        "beq" => {
-            let l = label(2)?;
-            asm.beq(reg(0)?, reg(1)?, l)
-        }
-        "bne" => {
-            let l = label(2)?;
-            asm.bne(reg(0)?, reg(1)?, l)
-        }
-        "blt" => {
-            let l = label(2)?;
-            asm.blt(reg(0)?, reg(1)?, l)
-        }
-        "bge" => {
-            let l = label(2)?;
-            asm.bge(reg(0)?, reg(1)?, l)
-        }
-        "bltu" => {
-            let l = label(2)?;
-            asm.bltu(reg(0)?, reg(1)?, l)
-        }
-        "bgeu" => {
-            let l = label(2)?;
-            asm.bgeu(reg(0)?, reg(1)?, l)
-        }
-        "bgt" => {
-            let l = label(2)?;
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" | "bgt" | "ble" => {
+            // `bgt`/`ble` are aliases with swapped sources.
+            let (kind, swap) = match mn {
+                "beq" => (BranchKind::Eq, false),
+                "bne" => (BranchKind::Ne, false),
+                "blt" => (BranchKind::Lt, false),
+                "bge" => (BranchKind::Ge, false),
+                "bltu" => (BranchKind::Ltu, false),
+                "bgeu" => (BranchKind::Geu, false),
+                "bgt" => (BranchKind::Lt, true),
+                _ => (BranchKind::Ge, true),
+            };
             let (a, b) = (reg(0)?, reg(1)?);
-            asm.blt(b, a, l)
-        }
-        "ble" => {
-            let l = label(2)?;
-            let (a, b) = (reg(0)?, reg(1)?);
-            asm.bge(b, a, l)
+            let (rs1, rs2) = if swap { (b, a) } else { (a, b) };
+            let target = args
+                .get(2)
+                .ok_or_else(|| format!("missing target operand for {mn}"))?;
+            if is_ident(target) {
+                let l = label(2)?;
+                match kind {
+                    BranchKind::Eq => asm.beq(rs1, rs2, l),
+                    BranchKind::Ne => asm.bne(rs1, rs2, l),
+                    BranchKind::Lt => asm.blt(rs1, rs2, l),
+                    BranchKind::Ge => asm.bge(rs1, rs2, l),
+                    BranchKind::Ltu => asm.bltu(rs1, rs2, l),
+                    BranchKind::Geu => asm.bgeu(rs1, rs2, l),
+                }
+            } else {
+                let offset = parse_imm_str(target, syms)?;
+                if !((BRANCH_MIN as i64)..=(BRANCH_MAX as i64)).contains(&offset) {
+                    return Err(format!("branch offset {offset} out of range"));
+                }
+                asm.emit(Inst::Branch {
+                    kind,
+                    rs1,
+                    rs2,
+                    offset: offset as i16,
+                })
+            }
         }
         "j" => {
-            let l = label(0)?;
-            asm.j(l)
+            let target = args
+                .first()
+                .ok_or_else(|| format!("missing target operand for {mn}"))?;
+            if is_ident(target) {
+                let l = label(0)?;
+                asm.j(l)
+            } else {
+                let target = jal_target(target, syms)?;
+                asm.emit(Inst::Jal {
+                    rd: Reg::R0,
+                    target,
+                })
+            }
         }
         "jal" => {
-            if args.len() == 1 {
-                let l = label(0)?;
-                asm.jal(Reg::RA, l)
+            let (rd, i) = if args.len() == 1 {
+                (Reg::RA, 0)
             } else {
-                let l = label(1)?;
-                asm.jal(reg(0)?, l)
+                (reg(0)?, 1)
+            };
+            let target = args
+                .get(i)
+                .ok_or_else(|| format!("missing target operand for {mn}"))?;
+            if is_ident(target) {
+                let l = label(i)?;
+                asm.jal(rd, l)
+            } else {
+                let target = jal_target(target, syms)?;
+                asm.emit(Inst::Jal { rd, target })
             }
         }
         "call" => {
@@ -622,6 +667,79 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.insts.len(), 2);
+    }
+
+    #[test]
+    fn numeric_branch_offsets_and_jump_targets() {
+        let p = assemble_text(
+            "num",
+            "
+            beq r1, r2, +2
+            bne r3, r4, -1
+            bgt r5, r6, +0
+            j 0
+            jal r5, 3
+            halt 0
+            ",
+        )
+        .unwrap();
+        use crate::inst::BranchKind;
+        assert_eq!(
+            p.insts[0],
+            Inst::Branch {
+                kind: BranchKind::Eq,
+                rs1: Reg::R1,
+                rs2: Reg::R2,
+                offset: 2
+            }
+        );
+        assert!(matches!(p.insts[1], Inst::Branch { offset: -1, .. }));
+        // bgt swaps sources and keeps the numeric offset.
+        assert_eq!(
+            p.insts[2],
+            Inst::Branch {
+                kind: BranchKind::Lt,
+                rs1: Reg::R6,
+                rs2: Reg::R5,
+                offset: 0
+            }
+        );
+        assert!(matches!(
+            p.insts[3],
+            Inst::Jal {
+                rd: Reg::R0,
+                target: 0
+            }
+        ));
+        assert!(matches!(
+            p.insts[4],
+            Inst::Jal {
+                rd: Reg::R5,
+                target: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn numeric_branch_and_jump_range_checked() {
+        let err = assemble_text("bad", "beq r1, r2, 8192\n").unwrap_err();
+        assert!(matches!(err, AsmError::Parse { line: 1, .. }));
+        let err = assemble_text("bad", "beq r1, r2, -8193\n").unwrap_err();
+        assert!(matches!(err, AsmError::Parse { line: 1, .. }));
+        let err = assemble_text("bad", "j -1\n").unwrap_err();
+        assert!(matches!(err, AsmError::Parse { line: 1, .. }));
+        let err = assemble_text("bad", "jal r1, 0x400000\n").unwrap_err();
+        assert!(matches!(err, AsmError::Parse { line: 1, .. }));
+        // The extremes themselves are accepted.
+        assert!(assemble_text("ok", "beq r1, r2, 8191\nbeq r1, r2, -8192\n").is_ok());
+        assert!(assemble_text("ok", "jal r1, 0x3fffff\n").is_ok());
+    }
+
+    #[test]
+    fn plus_prefixed_immediates_parse() {
+        let p = assemble_text("plus", "addi r1, r0, +12\nli r2, +0x10\n").unwrap();
+        assert!(matches!(p.insts[0], Inst::Addi { imm: 12, .. }));
+        assert!(matches!(p.insts[1], Inst::Addi { imm: 16, .. }));
     }
 
     #[test]

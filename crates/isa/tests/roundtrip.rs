@@ -1,0 +1,342 @@
+//! Assembler round-trip sweep: for every instruction class, the chain
+//! `encode → decode → Display → assemble_text` is the identity on
+//! canonical instructions. This pins three independent representations
+//! (binary word, decoded enum, assembly text) to each other, so a change
+//! to any one of them that forgets the other two fails here.
+//!
+//! Canonical means what `decode` can produce: branch offsets inside the
+//! 14-bit field, `jal` targets inside the 22-bit field, shift amounts
+//! below 32, and word-width loads marked signed.
+
+use sofi_isa::{
+    assemble_text, decode, encode, BranchKind, Inst, MemWidth, Reg, BRANCH_MAX, BRANCH_MIN, JAL_MAX,
+};
+use sofi_rng::{DefaultRng, Rng};
+
+fn any_reg(rng: &mut impl Rng) -> Reg {
+    Reg::from_index(rng.gen_range(0usize..16)).unwrap()
+}
+
+fn any_width(rng: &mut impl Rng) -> MemWidth {
+    match rng.gen_range(0u32..3) {
+        0 => MemWidth::Byte,
+        1 => MemWidth::Half,
+        _ => MemWidth::Word,
+    }
+}
+
+fn any_branch_kind(rng: &mut impl Rng) -> BranchKind {
+    match rng.gen_range(0u32..6) {
+        0 => BranchKind::Eq,
+        1 => BranchKind::Ne,
+        2 => BranchKind::Lt,
+        3 => BranchKind::Ge,
+        4 => BranchKind::Ltu,
+        _ => BranchKind::Geu,
+    }
+}
+
+/// A random canonical instruction covering every class.
+fn any_inst(rng: &mut impl Rng) -> Inst {
+    let imm = rng.next_u64() as i16;
+    match rng.gen_range(0u32..26) {
+        0 => Inst::Add {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        1 => Inst::Sub {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        2 => Inst::And {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        3 => Inst::Or {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        4 => Inst::Xor {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        5 => Inst::Sll {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        6 => Inst::Srl {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        7 => Inst::Sra {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        8 => Inst::Slt {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        9 => Inst::Sltu {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        10 => Inst::Mul {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        11 => Inst::Addi {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            imm,
+        },
+        12 => Inst::Andi {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            imm,
+        },
+        13 => Inst::Ori {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            imm,
+        },
+        14 => Inst::Xori {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            imm,
+        },
+        15 => Inst::Slti {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            imm,
+        },
+        16 => Inst::Slli {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            shamt: rng.gen_range(0u8..32),
+        },
+        17 => Inst::Srli {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            shamt: rng.gen_range(0u8..32),
+        },
+        18 => Inst::Srai {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            shamt: rng.gen_range(0u8..32),
+        },
+        19 => Inst::Lui {
+            rd: any_reg(rng),
+            imm: rng.next_u64() as u16,
+        },
+        20 => {
+            let width = any_width(rng);
+            Inst::Load {
+                rd: any_reg(rng),
+                base: any_reg(rng),
+                offset: imm,
+                width,
+                signed: rng.gen_bool(0.5) || width == MemWidth::Word,
+            }
+        }
+        21 => Inst::Store {
+            rs: any_reg(rng),
+            base: any_reg(rng),
+            offset: imm,
+            width: any_width(rng),
+        },
+        22 => Inst::Branch {
+            kind: any_branch_kind(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            offset: rng.gen_range(BRANCH_MIN as i16..BRANCH_MAX as i16 + 1),
+        },
+        23 => Inst::Jal {
+            rd: any_reg(rng),
+            target: rng.gen_range(0u32..JAL_MAX + 1),
+        },
+        24 => Inst::Jalr {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            offset: imm,
+        },
+        _ => Inst::Halt {
+            code: rng.next_u64() as u16,
+        },
+    }
+}
+
+/// Runs a batch of instructions through the full chain and asserts the
+/// identity per instruction.
+fn assert_roundtrip(insts: &[Inst]) {
+    let decoded: Vec<Inst> = insts
+        .iter()
+        .map(|&i| decode(encode(i)).expect("canonical instruction decodes"))
+        .collect();
+    assert_eq!(decoded, insts, "encode/decode must already be the identity");
+    let text: String = decoded.iter().map(|i| format!("{i}\n")).collect();
+    let program = assemble_text("roundtrip", &text)
+        .unwrap_or_else(|e| panic!("display form failed to re-assemble: {e}\n{text}"));
+    assert_eq!(program.insts, decoded, "assembled text diverged:\n{text}");
+}
+
+#[test]
+fn boundary_immediates_round_trip() {
+    let r = Reg::R7;
+    let mut cases = vec![
+        Inst::NOP,
+        Inst::Halt { code: 0 },
+        Inst::Halt { code: u16::MAX },
+        Inst::Lui { rd: r, imm: 0 },
+        Inst::Lui {
+            rd: r,
+            imm: u16::MAX,
+        },
+        Inst::Jal { rd: r, target: 0 },
+        Inst::Jal {
+            rd: r,
+            target: JAL_MAX,
+        },
+    ];
+    for imm in [i16::MIN, -1, 0, 1, i16::MAX] {
+        cases.push(Inst::Addi { rd: r, rs1: r, imm });
+        cases.push(Inst::Andi { rd: r, rs1: r, imm });
+        cases.push(Inst::Ori { rd: r, rs1: r, imm });
+        cases.push(Inst::Xori { rd: r, rs1: r, imm });
+        cases.push(Inst::Slti { rd: r, rs1: r, imm });
+        cases.push(Inst::Load {
+            rd: r,
+            base: r,
+            offset: imm,
+            width: MemWidth::Word,
+            signed: true,
+        });
+        cases.push(Inst::Store {
+            rs: r,
+            base: r,
+            offset: imm,
+            width: MemWidth::Byte,
+        });
+        cases.push(Inst::Jalr {
+            rd: r,
+            rs1: r,
+            offset: imm,
+        });
+    }
+    for shamt in [0u8, 1, 31] {
+        cases.push(Inst::Slli {
+            rd: r,
+            rs1: r,
+            shamt,
+        });
+        cases.push(Inst::Srli {
+            rd: r,
+            rs1: r,
+            shamt,
+        });
+        cases.push(Inst::Srai {
+            rd: r,
+            rs1: r,
+            shamt,
+        });
+    }
+    for offset in [BRANCH_MIN as i16, -1, 0, 1, BRANCH_MAX as i16] {
+        for kind in [
+            BranchKind::Eq,
+            BranchKind::Ne,
+            BranchKind::Lt,
+            BranchKind::Ge,
+            BranchKind::Ltu,
+            BranchKind::Geu,
+        ] {
+            cases.push(Inst::Branch {
+                kind,
+                rs1: Reg::R1,
+                rs2: Reg::R2,
+                offset,
+            });
+        }
+    }
+    assert_roundtrip(&cases);
+}
+
+#[test]
+fn seeded_sweep_round_trips_every_class() {
+    let mut rng = DefaultRng::seed_from_u64(0x0A5B_71D0);
+    for _ in 0..32 {
+        let batch: Vec<Inst> = (0..64).map(|_| any_inst(&mut rng)).collect();
+        assert_roundtrip(&batch);
+    }
+}
+
+#[test]
+fn load_width_and_sign_mnemonics_round_trip() {
+    // One explicit instance per load/store mnemonic, so a Display/parse
+    // mnemonic mismatch names itself in the failure.
+    let cases = [
+        Inst::Load {
+            rd: Reg::R1,
+            base: Reg::R2,
+            offset: -4,
+            width: MemWidth::Byte,
+            signed: true,
+        },
+        Inst::Load {
+            rd: Reg::R1,
+            base: Reg::R2,
+            offset: 4,
+            width: MemWidth::Byte,
+            signed: false,
+        },
+        Inst::Load {
+            rd: Reg::R1,
+            base: Reg::R2,
+            offset: -2,
+            width: MemWidth::Half,
+            signed: true,
+        },
+        Inst::Load {
+            rd: Reg::R1,
+            base: Reg::R2,
+            offset: 2,
+            width: MemWidth::Half,
+            signed: false,
+        },
+        Inst::Load {
+            rd: Reg::R1,
+            base: Reg::R2,
+            offset: 0,
+            width: MemWidth::Word,
+            signed: true,
+        },
+        Inst::Store {
+            rs: Reg::R3,
+            base: Reg::R4,
+            offset: 1,
+            width: MemWidth::Byte,
+        },
+        Inst::Store {
+            rs: Reg::R3,
+            base: Reg::R4,
+            offset: -2,
+            width: MemWidth::Half,
+        },
+        Inst::Store {
+            rs: Reg::R3,
+            base: Reg::R4,
+            offset: 8,
+            width: MemWidth::Word,
+        },
+    ];
+    assert_roundtrip(&cases);
+}

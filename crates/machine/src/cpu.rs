@@ -516,6 +516,60 @@ impl Machine {
             && self.ram.eq_masked(&pristine.ram, &mask.ram_live)
     }
 
+    /// 128-bit digest of the machine's complete architectural state:
+    /// registers, program counter, cycle counter, run state (including
+    /// halt code / trap cause), RAM contents, serial output (full
+    /// content, not just length), detection count, input latch and
+    /// external-event progress.
+    ///
+    /// The machine is deterministic, so two machines *of the same
+    /// program, event schedule and [`MachineConfig`]* whose digests are
+    /// equal evolve identically from here on — equal digests (modulo a
+    /// ~2⁻¹²⁸ hash collision) imply equal future runs, equal final
+    /// output, and equal outcome classification under any fixed cycle
+    /// budget. The campaign executor keys its fault-equivalence
+    /// memoization on `(cycle, digest)`; the cycle is folded into the
+    /// digest as well, so the digest alone already separates states at
+    /// different times.
+    ///
+    /// Takes `&mut self` to maintain the per-page RAM hash cache
+    /// ([`crate::Ram::content_hash`]): digesting a fork of an
+    /// already-digested machine costs `O(pages dirtied since the fork)`
+    /// plus the (small) fixed-size state.
+    pub fn state_digest(&mut self) -> StateDigest {
+        use crate::ram::fold128;
+        let mut acc = (0x9216_D5D9_8979_FB1B, 0x0D95_748F_728E_B658);
+        acc = fold128(
+            acc,
+            match self.state {
+                State::Running => 0,
+                State::Halted { code } => 1 | (code as u64) << 8,
+                State::Trapped(t) => 2 | trap_word(t) << 8,
+            },
+        );
+        acc = fold128(acc, self.cycle);
+        acc = fold128(acc, (self.pc as u64) << 32 | self.input_latch as u64);
+        acc = fold128(acc, self.next_event as u64);
+        acc = fold128(acc, self.detect_count);
+        for pair in self.regs.chunks_exact(2) {
+            acc = fold128(acc, (pair[0] as u64) << 32 | pair[1] as u64);
+        }
+        // Serial content matters to classification (SDC is a serial
+        // mismatch), so the digest covers the bytes, not just the
+        // length. Folding the length first disambiguates the
+        // zero-padded final chunk.
+        acc = fold128(acc, self.serial.len() as u64);
+        for chunk in self.serial.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            acc = fold128(acc, u64::from_le_bytes(word));
+        }
+        let ram = self.ram.content_hash();
+        acc = fold128(acc, (ram >> 64) as u64);
+        acc = fold128(acc, ram as u64);
+        StateDigest((acc.0 as u128) << 64 | acc.1 as u128)
+    }
+
     /// The mask-independent part of the convergence comparison.
     fn converged_core(&self, pristine: &Machine) -> bool {
         debug_assert!(
@@ -529,6 +583,26 @@ impl Machine {
             && self.input_latch == pristine.input_latch
             && self.next_event == pristine.next_event
             && self.serial.len() == pristine.serial.len()
+    }
+}
+
+/// Opaque 128-bit architectural-state digest, produced by
+/// [`Machine::state_digest`]. Suitable as a hash-map key; equality of
+/// digests is (collision-negligibly) equivalent to equality of the full
+/// architectural state for machines running the same program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateDigest(u128);
+
+/// Injectively encodes a trap cause into a word for the state digest.
+/// Variant tags sit in the low byte; payloads (which are ≤ 34 bits) are
+/// shifted above them.
+fn trap_word(t: Trap) -> u64 {
+    match t {
+        Trap::Misaligned { addr, width } => 1 | (width.bytes() as u64) << 8 | (addr as u64) << 12,
+        Trap::OutOfRange { addr } => 2 | (addr as u64) << 12,
+        Trap::MmioRead { addr } => 3 | (addr as u64) << 12,
+        Trap::BadJump { target } => 4 | (target as u64) << 12,
+        Trap::SerialOverflow => 5,
     }
 }
 
@@ -999,6 +1073,93 @@ mod tests {
         assert_eq!(faulted.pc(), pristine.pc());
         assert_eq!(faulted.serial().len(), 1);
         assert!(!faulted.converged_with(&pristine));
+    }
+
+    #[test]
+    fn state_digest_separates_architectural_differences() {
+        let mut a = Asm::new();
+        let x = a.data_bytes("x", &[1, 2, 3, 4]);
+        a.lb(Reg::R1, Reg::R0, x.offset());
+        a.serial_out(Reg::R1);
+        a.sb(Reg::R0, Reg::R0, x.offset());
+        a.nop();
+        let p = a.build().unwrap();
+
+        let mut m = Machine::new(&p);
+        m.run_to(2);
+        let base = m.state_digest();
+        assert_eq!(m.clone().state_digest(), base, "clone digests equal");
+        assert_eq!(m.state_digest(), base, "digesting is idempotent");
+
+        // Every digested component, perturbed one at a time.
+        let mut d = m.clone();
+        d.flip_reg_bit(0);
+        assert_ne!(d.state_digest(), base, "register difference");
+        let mut d = m.clone();
+        d.flip_bit(x.addr() as u64 * 8 + 9);
+        assert_ne!(d.state_digest(), base, "RAM difference");
+        let mut d = m.clone();
+        d.run_to(3);
+        assert_ne!(d.state_digest(), base, "cycle/pc difference");
+        let mut d = m.clone();
+        d.run(100);
+        assert_ne!(d.state_digest(), base, "halted vs running");
+
+        // An involution restores the digest exactly.
+        let mut d = m.clone();
+        d.flip_bit(x.addr() as u64 * 8);
+        d.flip_bit(x.addr() as u64 * 8);
+        assert_eq!(d.state_digest(), base);
+    }
+
+    #[test]
+    fn state_digest_covers_serial_content_not_just_length() {
+        // Two runs emitting equal-length but different serial bytes must
+        // digest differently: classification (SDC vs NoEffect) depends
+        // on the content, and the memoizing executor keys outcomes on
+        // the digest.
+        let mut a = Asm::new();
+        let x = a.data_bytes("x", b"a");
+        a.lb(Reg::R1, Reg::R0, x.offset());
+        a.serial_out(Reg::R1);
+        a.nop();
+        let p = a.build().unwrap();
+
+        let mut clean = Machine::new(&p);
+        let mut faulted = Machine::new(&p);
+        faulted.flip_bit(0); // emits 'a' ^ 1 = '`'
+        clean.run_to(2);
+        faulted.run_to(2);
+        assert_eq!(clean.serial().len(), faulted.serial().len());
+        assert_ne!(clean.state_digest(), faulted.state_digest());
+
+        // Restoring the flipped (already dead) byte re-aligns everything
+        // but the serial content: still different digests.
+        faulted.flip_bit(0);
+        assert_eq!(clean.ram().to_vec(), faulted.ram().to_vec());
+        assert_ne!(clean.state_digest(), faulted.state_digest());
+    }
+
+    #[test]
+    fn state_digest_ignores_cow_sharing_structure() {
+        // Digests are content-determined: a machine rebuilt from scratch
+        // and a forked machine in the same state digest identically even
+        // though their RAM page tables share nothing.
+        let mut a = Asm::new();
+        a.data_space("buf", 600);
+        a.li(Reg::R1, 0x55);
+        a.sb(Reg::R1, Reg::R0, 0);
+        a.sb(Reg::R1, Reg::R0, 300);
+        a.nop();
+        let p = a.build().unwrap();
+        let mut m1 = Machine::new(&p);
+        m1.run_to(3);
+        let mut fork = m1.clone();
+        let mut m2 = Machine::new(&p);
+        m2.run_to(3);
+        assert!(!m1.ram().shares_all_pages_with(m2.ram()) || m1.ram() == m2.ram());
+        assert_eq!(m1.state_digest(), m2.state_digest());
+        assert_eq!(fork.state_digest(), m2.state_digest());
     }
 
     #[test]

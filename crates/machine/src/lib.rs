@@ -46,7 +46,7 @@ mod ram;
 mod status;
 mod trap;
 
-pub use cpu::{ConvergenceMask, ExternalEvent, Machine, MachineConfig};
+pub use cpu::{ConvergenceMask, ExternalEvent, Machine, MachineConfig, StateDigest};
 pub use observer::{
     AccessKind, MemAccess, MemObserver, NullObserver, RecordingObserver, RegAccess, REG_FILE_BITS,
 };

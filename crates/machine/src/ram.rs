@@ -26,6 +26,39 @@ fn zero_page() -> Arc<Page> {
     ZERO.get_or_init(|| Arc::new([0; PAGE_BYTES])).clone()
 }
 
+/// The splitmix64 output permutation: a cheap, statistically strong
+/// bijection on `u64`. Used as the mixing step of the content hashes
+/// backing the campaign executor's fault-equivalence memoization, where
+/// an (astronomically unlikely) collision would silently misclassify an
+/// experiment — hence 128 hash bits built from two independent lanes.
+#[inline]
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Folds one word into a two-lane 128-bit accumulator. Both lanes are
+/// position-dependent chains of [`mix64`] (a bijection, so unequal lane
+/// states stay unequal); the lanes differ by seed and by how the word
+/// enters the chain.
+#[inline]
+pub(crate) fn fold128(acc: (u64, u64), x: u64) -> (u64, u64) {
+    (
+        mix64(acc.0 ^ x).wrapping_add(0x9E37_79B9_7F4A_7C15),
+        mix64(acc.1.wrapping_add(x ^ 0xD1B5_4A32_D192_ED03)),
+    )
+}
+
+/// Content hash of one page (both lanes packed into a `u128`).
+fn hash_page(page: &Page) -> u128 {
+    let mut acc = (0x243F_6A88_85A3_08D3, 0x1319_8A2E_0370_7344);
+    for chunk in page.chunks_exact(8) {
+        acc = fold128(acc, u64::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    (acc.0 as u128) << 64 | acc.1 as u128
+}
+
 /// Main memory: the only fault-susceptible component in the paper's model.
 ///
 /// Addresses run from `0` to `size() - 1`; the fault space's memory extent
@@ -49,6 +82,16 @@ pub struct Ram {
     /// COW pages; the last page is zero-padded past `size` and the
     /// padding is unreachable through the bounds-checked API.
     pages: Vec<Arc<Page>>,
+    /// Cached per-page content hashes, invalidated on write. A clone
+    /// inherits the cache (its content is identical at clone time), so a
+    /// fork only re-hashes the pages it subsequently dirties — this is
+    /// what makes whole-RAM hashing O(dirty pages) for the campaign
+    /// executor's fault-equivalence memoization.
+    ///
+    /// Keyed by page *index*, never by page *pointer*: `Arc::make_mut`
+    /// mutates a page in place when the refcount is 1, so a
+    /// pointer-keyed cache would silently go stale.
+    page_hashes: Vec<Option<u128>>,
 }
 
 impl Ram {
@@ -58,6 +101,7 @@ impl Ram {
         Ram {
             size,
             pages: vec![zero_page(); count],
+            page_hashes: vec![None; count],
         }
     }
 
@@ -164,6 +208,36 @@ impl Ram {
         true
     }
 
+    /// 128-bit content hash of the full memory image, position-sensitive
+    /// over pages. Equal contents always hash equal (the hash never sees
+    /// the COW sharing structure); unequal contents collide with
+    /// probability ~2⁻¹²⁸ per pair.
+    ///
+    /// Per-page hashes are cached and invalidated on write, and clones
+    /// inherit the cache, so hashing a fork of an already-hashed RAM
+    /// costs `O(pages dirtied since the fork)` — the property the
+    /// campaign executor's fault-equivalence memoization relies on to
+    /// digest machine state at every injection and checkpoint crossing.
+    pub fn content_hash(&mut self) -> u128 {
+        let mut acc = fold128(
+            (0x4528_21E6_38D0_1377, 0xBE54_66CF_34E9_0C6C),
+            self.size as u64,
+        );
+        for p in 0..self.pages.len() {
+            let ph = match self.page_hashes[p] {
+                Some(ph) => ph,
+                None => {
+                    let ph = hash_page(&self.pages[p]);
+                    self.page_hashes[p] = Some(ph);
+                    ph
+                }
+            };
+            acc = fold128(acc, (ph >> 64) as u64);
+            acc = fold128(acc, ph as u64);
+        }
+        (acc.0 as u128) << 64 | acc.1 as u128
+    }
+
     fn check(&self, addr: u32, width: MemWidth) -> Result<usize, Trap> {
         let bytes = width.bytes();
         if !addr.is_multiple_of(bytes) {
@@ -204,6 +278,7 @@ impl Ram {
     /// Same conditions as [`Ram::read`].
     pub fn write(&mut self, addr: u32, width: MemWidth, value: u32) -> Result<(), Trap> {
         let i = self.check(addr, width)?;
+        self.page_hashes[i / PAGE_BYTES] = None;
         let page = Arc::make_mut(&mut self.pages[i / PAGE_BYTES]);
         let o = i % PAGE_BYTES;
         match width {
@@ -224,6 +299,7 @@ impl Ram {
     pub fn flip_bit(&mut self, bit: u64) {
         assert!(bit < self.size_bits(), "bit {bit} outside RAM");
         let i = (bit / 8) as usize;
+        self.page_hashes[i / PAGE_BYTES] = None;
         let page = Arc::make_mut(&mut self.pages[i / PAGE_BYTES]);
         page[i % PAGE_BYTES] ^= 1 << (bit % 8);
     }
@@ -438,6 +514,64 @@ mod tests {
         // A live difference in the diverged page is still caught.
         b.flip_bit(301 * 8);
         assert!(!a.eq_masked(&b, &all_live));
+    }
+
+    #[test]
+    fn content_hash_is_content_determined() {
+        // Equal content ⇒ equal hash, regardless of COW structure or
+        // cache population order.
+        let base = Ram::with_image(1024, &[7; 700]);
+        let mut a = base.clone();
+        let mut b = Ram::with_image(1024, &[7; 700]); // no shared pages
+        assert_eq!(a.content_hash(), b.content_hash());
+        a.write(300, MemWidth::Word, 0xAB).unwrap();
+        b.write(300, MemWidth::Word, 0xAB).unwrap();
+        assert_eq!(a.content_hash(), b.content_hash());
+        // Different size, same (empty) content prefix ⇒ different hash.
+        assert_ne!(Ram::new(256).content_hash(), Ram::new(512).content_hash());
+    }
+
+    #[test]
+    fn content_hash_tracks_every_write_and_flip() {
+        let mut ram = Ram::with_image(512, &[3; 300]);
+        let h0 = ram.content_hash();
+        ram.write(100, MemWidth::Byte, 99).unwrap();
+        let h1 = ram.content_hash();
+        assert_ne!(h0, h1, "write after hashing must change the hash");
+        ram.write(100, MemWidth::Byte, 3).unwrap();
+        assert_eq!(
+            ram.content_hash(),
+            h0,
+            "restoring content restores the hash"
+        );
+        ram.flip_bit(400 * 8 + 5);
+        assert_ne!(ram.content_hash(), h0);
+        ram.flip_bit(400 * 8 + 5);
+        assert_eq!(ram.content_hash(), h0, "flip is an involution on the hash");
+    }
+
+    #[test]
+    fn clone_inherits_hash_cache_and_stays_correct() {
+        // The stale-cache hazard this design must avoid: `Arc::make_mut`
+        // mutates a uniquely-owned page *in place*, so a fork writing to
+        // a page the parent already hashed must not reuse the parent's
+        // entry for its own changed content — and vice versa.
+        let mut parent = Ram::with_image(1024, &[5; 1000]);
+        let h_parent = parent.content_hash(); // warm every page
+        let mut fork = parent.clone();
+        assert!(
+            fork.page_hashes.iter().all(Option::is_some),
+            "fork must inherit the parent's warm cache"
+        );
+        assert_eq!(fork.content_hash(), h_parent);
+        fork.write(0, MemWidth::Byte, 6).unwrap();
+        assert_ne!(fork.content_hash(), h_parent);
+        assert_eq!(parent.content_hash(), h_parent, "parent unaffected by fork");
+        // In-place mutation of a uniquely-owned page (refcount 1).
+        let mut solo = Ram::with_image(256, &[1; 100]);
+        let h = solo.content_hash();
+        solo.write(0, MemWidth::Byte, 2).unwrap(); // make_mut in place
+        assert_ne!(solo.content_hash(), h);
     }
 
     /// Equivalence sweep against the previous `Vec<u8>`-backed semantics:
