@@ -74,6 +74,35 @@ impl CampaignConfig {
                 .unwrap_or(1)
         }
     }
+
+    /// Packs the configuration into a fixed array of words for wire and
+    /// journal serialization (`sofi-serve` job specs). [`CampaignConfig::unpack`]
+    /// is the exact inverse; the field order is part of the `sofi-serve`
+    /// protocol version, so append new fields rather than reordering.
+    pub fn pack(&self) -> [u64; 6] {
+        [
+            self.threads as u64,
+            self.timeout_factor,
+            self.timeout_slack,
+            u64::from(self.convergence),
+            u64::from(self.memoization),
+            self.machine.serial_limit as u64,
+        ]
+    }
+
+    /// Rebuilds a configuration from [`CampaignConfig::pack`]ed words.
+    pub fn unpack(words: [u64; 6]) -> CampaignConfig {
+        CampaignConfig {
+            threads: words[0] as usize,
+            timeout_factor: words[1],
+            timeout_slack: words[2],
+            convergence: words[3] != 0,
+            memoization: words[4] != 0,
+            machine: MachineConfig {
+                serial_limit: words[5] as usize,
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -96,5 +125,24 @@ mod tests {
     fn thread_resolution() {
         assert!(CampaignConfig::default().effective_threads() >= 1);
         assert_eq!(CampaignConfig::sequential().effective_threads(), 1);
+    }
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        let configs = [
+            CampaignConfig::default(),
+            CampaignConfig::sequential(),
+            CampaignConfig {
+                threads: 7,
+                timeout_factor: 9,
+                timeout_slack: 123,
+                convergence: false,
+                memoization: false,
+                machine: MachineConfig { serial_limit: 42 },
+            },
+        ];
+        for c in configs {
+            assert_eq!(CampaignConfig::unpack(c.pack()), c);
+        }
     }
 }

@@ -263,6 +263,16 @@ impl Campaign {
         &self.reg_plan
     }
 
+    /// The pruned injection plan for `domain` (the campaign service and
+    /// other callers that carry the domain as data rather than picking an
+    /// accessor statically).
+    pub fn plan_for(&self, domain: FaultDomain) -> &InjectionPlan {
+        match domain {
+            FaultDomain::Memory => &self.plan,
+            FaultDomain::RegisterFile => &self.reg_plan,
+        }
+    }
+
     /// The program under test.
     pub fn program(&self) -> &Program {
         &self.program
@@ -325,19 +335,31 @@ impl Campaign {
         domain: FaultDomain,
         plan: &InjectionPlan,
     ) -> (CampaignResult, ExecutorStats) {
-        let (mut results, stats) = self.run_experiments_stats(domain, &plan.experiments);
+        let (results, stats) = self.run_experiments_stats(domain, &plan.experiments);
+        (self.assemble_result(domain, plan, results), stats)
+    }
+
+    /// Builds the canonical [`CampaignResult`] for `plan` from per-experiment
+    /// results produced in any order — by this process's executor or
+    /// re-assembled from a `sofi-serve` journal after a crash. The output is
+    /// bit-identical to [`Campaign::run_plan_stats`]'s result as long as
+    /// `results` covers the plan exactly once per experiment (results are
+    /// sorted by experiment id; metadata comes from the plan and golden run).
+    pub fn assemble_result(
+        &self,
+        domain: FaultDomain,
+        plan: &InjectionPlan,
+        mut results: Vec<ExperimentResult>,
+    ) -> CampaignResult {
         results.sort_by_key(|r| r.experiment.id);
-        (
-            CampaignResult {
-                benchmark: self.program.name.clone(),
-                domain,
-                space: plan.space,
-                known_benign_weight: plan.known_benign_weight,
-                golden_cycles: self.golden.cycles,
-                results,
-            },
-            stats,
-        )
+        CampaignResult {
+            benchmark: self.program.name.clone(),
+            domain,
+            space: plan.space,
+            known_benign_weight: plan.known_benign_weight,
+            golden_cycles: self.golden.cycles,
+            results,
+        }
     }
 
     /// [`Campaign::run_full_defuse`] plus executor instrumentation.

@@ -56,6 +56,7 @@ mod config;
 mod executor;
 mod outcome;
 mod result;
+pub mod resume;
 mod sampling;
 
 pub use burst::BurstSampledResult;

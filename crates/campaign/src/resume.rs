@@ -1,0 +1,75 @@
+//! Resumable fault-list slicing.
+//!
+//! The campaign service (`sofi-serve`) dispatches a campaign's experiment
+//! list in fixed-size batches and journals each completed batch. After a
+//! crash it replays the journal and re-dispatches only the *uncovered
+//! tail* of the fault list; the helpers here compute that tail and the
+//! batch boundaries. They are plain functions over experiment slices so
+//! any executor front-end (daemon, CLI, tests) slices identically.
+
+use sofi_space::Experiment;
+use std::collections::HashSet;
+
+/// The experiments of `plan` whose ids are *not* in `done`, in the
+/// original (cycle-sorted) plan order.
+///
+/// `done` typically comes from replaying a result journal: every
+/// experiment id with a committed outcome. Re-running the returned tail
+/// and merging with the journaled results covers the plan exactly once.
+pub fn unfinished(plan: &[Experiment], done: &HashSet<u32>) -> Vec<Experiment> {
+    plan.iter()
+        .filter(|e| !done.contains(&e.id))
+        .copied()
+        .collect()
+}
+
+/// Splits `experiments` into contiguous batches of at most `batch_size`
+/// (the last batch may be shorter). `batch_size` of 0 is treated as 1 so
+/// the schedule always makes progress.
+pub fn batches(
+    experiments: &[Experiment],
+    batch_size: usize,
+) -> impl Iterator<Item = &[Experiment]> {
+    experiments.chunks(batch_size.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofi_space::FaultCoord;
+
+    fn exp(id: u32) -> Experiment {
+        Experiment {
+            id,
+            coord: FaultCoord {
+                cycle: u64::from(id) + 1,
+                bit: 0,
+            },
+            weight: 1,
+        }
+    }
+
+    #[test]
+    fn unfinished_preserves_order_and_filters() {
+        let plan: Vec<Experiment> = (0..10).map(exp).collect();
+        let done: HashSet<u32> = [1, 3, 9].into_iter().collect();
+        let tail = unfinished(&plan, &done);
+        let ids: Vec<u32> = tail.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![0, 2, 4, 5, 6, 7, 8]);
+        assert!(unfinished(&plan, &(0..10).collect()).is_empty());
+        assert_eq!(unfinished(&plan, &HashSet::new()).len(), 10);
+    }
+
+    #[test]
+    fn batches_cover_exactly_once() {
+        let plan: Vec<Experiment> = (0..10).map(exp).collect();
+        for size in [0, 1, 3, 10, 99] {
+            let all: Vec<u32> = batches(&plan, size)
+                .flat_map(|b| b.iter().map(|e| e.id))
+                .collect();
+            assert_eq!(all, (0..10).collect::<Vec<u32>>(), "batch size {size}");
+        }
+        assert_eq!(batches(&plan, 3).count(), 4);
+        assert_eq!(batches(&[], 3).count(), 0);
+    }
+}

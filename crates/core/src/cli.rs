@@ -5,18 +5,26 @@
 //!
 //! ```text
 //! sofi run <prog.s> [--limit N]            execute, show output and cycles
-//! sofi campaign <prog.s> [--registers] [--json]
+//! sofi campaign <prog.s> [--registers] [--json] [--threads N]
 //!                                          full def/use fault-space scan
 //! sofi sample <prog.s> --draws N [--seed S] [--mode raw|weighted|biased]
 //!                                          sampling campaign + extrapolation
 //! sofi diagram <prog.s>                    ASCII fault-space diagram
 //! sofi compare <baseline.s> <hardened.s>   soundly compare two variants
+//! sofi serve [--addr A] [--journal PATH]   campaign service daemon
+//! sofi submit <prog.s> [--registers|--memory] [--wait]
+//!                                          queue a campaign on the daemon
+//! sofi status [job-id]                     job table from the daemon
+//! sofi cancel <job-id>                     cancel a queued/running job
+//! sofi shutdown                            ask the daemon to drain and exit
 //! ```
 //!
 //! All functions return the text they would print, so they are directly
 //! testable; the binary's `main` is a thin shell around [`dispatch`].
+//! (`sofi serve` additionally logs its bound address to stderr up front,
+//! since its return value only materializes after shutdown.)
 
-use sofi_campaign::{Campaign, CampaignResult, SamplingMode};
+use sofi_campaign::{Campaign, CampaignConfig, CampaignResult, FaultDomain, SamplingMode};
 use sofi_isa::{assemble_text, Program};
 use sofi_metrics::{
     compare_failures, exact_failures, extrapolated_failures, fault_coverage, outcome_breakdown,
@@ -24,7 +32,13 @@ use sofi_metrics::{
 };
 use sofi_report::{fault_space_diagram, Table};
 use sofi_rng::DefaultRng;
+use sofi_serve::{Client, JobSpec, ServeConfig, Server};
 use std::fmt::Write as _;
+
+/// Default daemon address for `serve`/`submit`/`status`/`cancel`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:4715";
+/// Default journal path for `sofi serve`.
+pub const DEFAULT_JOURNAL: &str = "sofi.journal";
 
 /// CLI failure: bad usage or a failing pipeline step, with a user-facing
 /// message.
@@ -51,10 +65,19 @@ sofi — fault-injection methodology toolkit (DSN'15 pitfalls paper)
 
 USAGE:
   sofi run <prog.s> [--limit N]
-  sofi campaign <prog.s> [--registers] [--json]
+  sofi campaign <prog.s> [--registers] [--json] [--threads N]
   sofi sample <prog.s> --draws N [--seed S] [--mode raw|weighted|biased]
   sofi diagram <prog.s>
   sofi compare <baseline.s> <hardened.s>
+  sofi serve [--addr A] [--journal PATH] [--workers N] [--queue N] [--batch N]
+  sofi submit <prog.s> [--addr A] [--registers|--memory] [--wait]
+              [--threads N] [--json] [--out FILE]
+  sofi status [job-id] [--addr A]
+  sofi cancel <job-id> [--addr A]
+  sofi shutdown [--addr A]
+
+Addresses containing `/` are Unix socket paths; anything else is TCP
+host:port. The default address is 127.0.0.1:4715.
 ";
 
 /// Entry point: dispatches an argument vector (without the binary name).
@@ -71,9 +94,43 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         Some("sample") => cmd_sample(&args[1..]),
         Some("diagram") => cmd_diagram(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
+        Some("cancel") => cmd_cancel(&args[1..]),
+        Some("shutdown") => cmd_shutdown(&args[1..]),
         Some("help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
+}
+
+/// One accepted flag: its name and whether it consumes a value argument.
+type FlagSpec = (&'static str, bool);
+
+/// Rejects any `--flag` not in `known`, naming the offending flag in the
+/// error so typos are diagnosable (`--thread` vs `--threads`).
+fn reject_unknown_flags(args: &[String], known: &[FlagSpec]) -> Result<(), CliError> {
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if let Some(&(_, takes_value)) = known.iter().find(|(name, _)| *name == arg) {
+            i += 1 + usize::from(takes_value);
+        } else if arg.starts_with("--") {
+            let mut names: Vec<&str> = known.iter().map(|&(name, _)| name).collect();
+            names.sort_unstable();
+            return Err(CliError(format!(
+                "unknown flag `{arg}` (accepted here: {})",
+                if names.is_empty() {
+                    "none".to_string()
+                } else {
+                    names.join(", ")
+                }
+            )));
+        } else {
+            i += 1; // positional argument
+        }
+    }
+    Ok(())
 }
 
 fn load_program(path: &str) -> Result<Program, CliError> {
@@ -116,6 +173,7 @@ fn positional(args: &[String], n: usize) -> Result<&str, CliError> {
 }
 
 fn cmd_run(args: &[String]) -> Result<String, CliError> {
+    reject_unknown_flags(args, &[("--limit", true)])?;
     let program = load_program(positional(args, 0)?)?;
     let limit = parse_u64(args, "--limit", 50_000_000)?;
     let mut m = sofi_machine::Machine::new(&program);
@@ -177,9 +235,21 @@ fn campaign_report(result: &CampaignResult, campaign: &Campaign) -> String {
 }
 
 fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
+    reject_unknown_flags(
+        args,
+        &[
+            ("--registers", false),
+            ("--json", false),
+            ("--threads", true),
+        ],
+    )?;
     let program = load_program(positional(args, 0)?)?;
-    let campaign =
-        Campaign::new(&program).map_err(|e| CliError(format!("golden run failed: {e}")))?;
+    let config = CampaignConfig {
+        threads: parse_u64(args, "--threads", 0)? as usize,
+        ..CampaignConfig::default()
+    };
+    let campaign = Campaign::with_config(&program, config)
+        .map_err(|e| CliError(format!("golden run failed: {e}")))?;
     let result = if args.iter().any(|a| a == "--registers") {
         campaign.run_full_defuse_registers()
     } else {
@@ -192,6 +262,10 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
 }
 
 fn cmd_sample(args: &[String]) -> Result<String, CliError> {
+    reject_unknown_flags(
+        args,
+        &[("--draws", true), ("--seed", true), ("--mode", true)],
+    )?;
     let program = load_program(positional(args, 0)?)?;
     let draws = parse_u64(args, "--draws", 10_000)?;
     let seed = parse_u64(args, "--seed", 1)?;
@@ -231,6 +305,7 @@ fn cmd_sample(args: &[String]) -> Result<String, CliError> {
 }
 
 fn cmd_diagram(args: &[String]) -> Result<String, CliError> {
+    reject_unknown_flags(args, &[])?;
     let program = load_program(positional(args, 0)?)?;
     let campaign =
         Campaign::new(&program).map_err(|e| CliError(format!("golden run failed: {e}")))?;
@@ -244,6 +319,7 @@ fn cmd_diagram(args: &[String]) -> Result<String, CliError> {
 }
 
 fn cmd_compare(args: &[String]) -> Result<String, CliError> {
+    reject_unknown_flags(args, &[])?;
     let baseline = load_program(positional(args, 0)?)?;
     let hardened = load_program(positional(args, 1)?)?;
     let cb = Campaign::new(&baseline)
@@ -271,6 +347,202 @@ fn cmd_compare(args: &[String]) -> Result<String, CliError> {
          valid comparison metric; see the paper's Pitfall 3)"
     );
     Ok(out)
+}
+
+// --- service subcommands ------------------------------------------------
+
+fn addr_of(args: &[String]) -> String {
+    flag_value(args, "--addr")
+        .unwrap_or(DEFAULT_ADDR)
+        .to_string()
+}
+
+fn connect(args: &[String]) -> Result<Client, CliError> {
+    let addr = addr_of(args);
+    Client::connect(&addr).map_err(|e| CliError(format!("{addr}: {e}")))
+}
+
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    reject_unknown_flags(
+        args,
+        &[
+            ("--addr", true),
+            ("--journal", true),
+            ("--workers", true),
+            ("--queue", true),
+            ("--batch", true),
+        ],
+    )?;
+    let addr = addr_of(args);
+    let journal = flag_value(args, "--journal").unwrap_or(DEFAULT_JOURNAL);
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        workers: parse_u64(args, "--workers", defaults.workers as u64)? as usize,
+        queue_capacity: parse_u64(args, "--queue", defaults.queue_capacity as u64)? as usize,
+        batch_size: parse_u64(args, "--batch", defaults.batch_size as u64)? as usize,
+        ..defaults
+    };
+    let server = Server::bind(&addr, std::path::Path::new(journal), config)
+        .map_err(|e| CliError(format!("cannot start daemon on {addr}: {e}")))?;
+    eprintln!(
+        "sofi-serve listening on {} (journal: {journal})",
+        server.local_addr()
+    );
+    server
+        .run()
+        .map_err(|e| CliError(format!("daemon failed: {e}")))?;
+    Ok("daemon exited after graceful drain\n".to_string())
+}
+
+fn submit_spec(args: &[String]) -> Result<JobSpec, CliError> {
+    let path = positional(args, 0)?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("program")
+        .to_string();
+    // Assemble locally first purely for early diagnostics — the daemon
+    // re-assembles from source and is the source of truth.
+    assemble_text(&name, &source).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let domain = match (
+        args.iter().any(|a| a == "--registers"),
+        args.iter().any(|a| a == "--memory"),
+    ) {
+        (true, true) => {
+            return Err(CliError(
+                "--registers and --memory are mutually exclusive".into(),
+            ));
+        }
+        (true, false) => FaultDomain::RegisterFile,
+        _ => FaultDomain::Memory,
+    };
+    Ok(JobSpec {
+        name,
+        source,
+        domain,
+        config: CampaignConfig {
+            threads: parse_u64(args, "--threads", 0)? as usize,
+            ..CampaignConfig::default()
+        },
+    })
+}
+
+fn cmd_submit(args: &[String]) -> Result<String, CliError> {
+    reject_unknown_flags(
+        args,
+        &[
+            ("--addr", true),
+            ("--registers", false),
+            ("--memory", false),
+            ("--wait", false),
+            ("--threads", true),
+            ("--json", false),
+            ("--out", true),
+        ],
+    )?;
+    let spec = submit_spec(args)?;
+    let mut client = connect(args)?;
+    if !args.iter().any(|a| a == "--wait") {
+        let job = client.submit(spec).map_err(|e| CliError(e.to_string()))?;
+        return Ok(format!("job {job} queued on {}\n", addr_of(args)));
+    }
+    let (job, result, stats) = client
+        .submit_wait(spec, |done, total| {
+            eprint!("\rprogress: {done}/{total} experiments");
+            if total > 0 && done == total {
+                eprintln!();
+            }
+        })
+        .map_err(|e| CliError(e.to_string()))?;
+    let artifact = sofi_report::job_artifact(job, &result, &stats);
+    if let Some(path) = flag_value(args, "--out") {
+        std::fs::write(path, artifact.pretty())
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    }
+    if args.iter().any(|a| a == "--json") {
+        return Ok(artifact.pretty());
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "job         : {job}");
+    let _ = writeln!(
+        out,
+        "benchmark   : {} ({:?})",
+        result.benchmark, result.domain
+    );
+    let _ = writeln!(out, "experiments : {}", result.results.len());
+    let _ = writeln!(
+        out,
+        "failures    : F = {} (weighted; raw experiment count {})",
+        result.failure_weight(),
+        result.failure_raw()
+    );
+    let _ = writeln!(
+        out,
+        "executor    : {} workers, {} faulted cycles simulated",
+        stats.workers, stats.faulted_cycles
+    );
+    Ok(out)
+}
+
+fn cmd_status(args: &[String]) -> Result<String, CliError> {
+    reject_unknown_flags(args, &[("--addr", true)])?;
+    let job = match positional(args, 0) {
+        Ok(id) => Some(
+            id.parse::<u64>()
+                .map_err(|_| CliError(format!("job id must be a number, got `{id}`")))?,
+        ),
+        Err(_) => None,
+    };
+    let mut client = connect(args)?;
+    let jobs = client.status(job).map_err(|e| CliError(e.to_string()))?;
+    if jobs.is_empty() {
+        return Ok("no jobs\n".to_string());
+    }
+    let mut t = Table::new(vec!["job", "benchmark", "domain", "state", "progress"]);
+    for j in &jobs {
+        // Jobs replayed from a journal know their covered count but not
+        // the plan size (the golden run isn't redone for terminal jobs).
+        let progress = if j.total > 0 {
+            format!("{}/{}", j.done, j.total)
+        } else if j.done > 0 {
+            format!("{} covered", j.done)
+        } else {
+            "-".to_string()
+        };
+        let state = if j.error.is_empty() {
+            j.state.to_string()
+        } else {
+            format!("{} ({})", j.state, j.error)
+        };
+        t.row(vec![
+            j.id.to_string(),
+            j.name.clone(),
+            format!("{:?}", j.domain),
+            state,
+            progress,
+        ]);
+    }
+    Ok(format!("{t}"))
+}
+
+fn cmd_cancel(args: &[String]) -> Result<String, CliError> {
+    reject_unknown_flags(args, &[("--addr", true)])?;
+    let id = positional(args, 0)?;
+    let id: u64 = id
+        .parse()
+        .map_err(|_| CliError(format!("job id must be a number, got `{id}`")))?;
+    let mut client = connect(args)?;
+    client.cancel(id).map_err(|e| CliError(e.to_string()))?;
+    Ok(format!("job {id} cancelled\n"))
+}
+
+fn cmd_shutdown(args: &[String]) -> Result<String, CliError> {
+    reject_unknown_flags(args, &[("--addr", true)])?;
+    let mut client = connect(args)?;
+    client.shutdown().map_err(|e| CliError(e.to_string()))?;
+    Ok("daemon is draining\n".to_string())
 }
 
 #[cfg(test)]
@@ -393,5 +665,65 @@ mod tests {
     fn help_text() {
         assert!(dispatch(&[]).unwrap().contains("USAGE"));
         assert!(dispatch(&args(&["help"])).unwrap().contains("sofi"));
+        assert!(dispatch(&[]).unwrap().contains("sofi serve"));
+    }
+
+    #[test]
+    fn unknown_flags_are_named() {
+        let p = write_temp("hi7.s", HI);
+        let err = dispatch(&args(&["campaign", p.to_str().unwrap(), "--frobnicate"]))
+            .unwrap_err()
+            .0;
+        assert!(err.contains("unknown flag `--frobnicate`"), "{err}");
+        assert!(
+            err.contains("--threads"),
+            "should list accepted flags: {err}"
+        );
+        // A typo'd flag taking a value is still caught, not swallowed as
+        // a positional.
+        let err = dispatch(&args(&["run", p.to_str().unwrap(), "--limits", "5"]))
+            .unwrap_err()
+            .0;
+        assert!(err.contains("unknown flag `--limits`"), "{err}");
+    }
+
+    #[test]
+    fn campaign_threads_flag() {
+        let p = write_temp("hi8.s", HI);
+        let sequential = dispatch(&args(&["campaign", p.to_str().unwrap(), "--threads", "1"]));
+        let parallel = dispatch(&args(&["campaign", p.to_str().unwrap(), "--threads", "4"]));
+        assert_eq!(sequential.unwrap(), parallel.unwrap());
+        let err = dispatch(&args(&[
+            "campaign",
+            p.to_str().unwrap(),
+            "--threads",
+            "lots",
+        ]))
+        .unwrap_err()
+        .0;
+        assert!(err.contains("--threads expects a number"), "{err}");
+    }
+
+    #[test]
+    fn submit_rejects_conflicting_domains() {
+        let p = write_temp("hi9.s", HI);
+        let err = dispatch(&args(&[
+            "submit",
+            p.to_str().unwrap(),
+            "--registers",
+            "--memory",
+        ]))
+        .unwrap_err()
+        .0;
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn client_commands_fail_cleanly_without_daemon() {
+        // Port 1 on localhost is never listening in the test environment.
+        let err = dispatch(&args(&["status", "--addr", "127.0.0.1:1"]))
+            .unwrap_err()
+            .0;
+        assert!(err.contains("cannot connect"), "{err}");
     }
 }

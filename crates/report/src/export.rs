@@ -17,8 +17,8 @@
 //!   bench binaries use.
 
 use sofi_campaign::{
-    BurstSampledResult, CampaignResult, ExperimentResult, FaultDomain, Outcome, SampledOutcome,
-    SampledResult, SamplingMode,
+    BurstSampledResult, CampaignResult, ExecutorStats, ExperimentResult, FaultDomain, Outcome,
+    SampledOutcome, SampledResult, SamplingMode,
 };
 use sofi_machine::Trap;
 use sofi_metrics::Table1Row;
@@ -801,6 +801,40 @@ impl ToJson for BurstSampledResult {
     }
 }
 
+impl ToJson for ExecutorStats {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workers".into(), self.workers.to_json()),
+            ("experiments".into(), self.experiments.to_json()),
+            ("pristine_cycles".into(), self.pristine_cycles.to_json()),
+            ("faulted_cycles".into(), self.faulted_cycles.to_json()),
+            ("converged_early".into(), self.converged_early.to_json()),
+            (
+                "faulted_cycles_saved".into(),
+                self.faulted_cycles_saved.to_json(),
+            ),
+            ("memo_hits".into(), self.memo_hits.to_json()),
+            ("memo_misses".into(), self.memo_misses.to_json()),
+            (
+                "memoized_cycles_saved".into(),
+                self.memoized_cycles_saved.to_json(),
+            ),
+        ])
+    }
+}
+
+/// The artifact exported for a finished service job: the daemon's job id
+/// next to the merged campaign result and the executor counters
+/// accumulated over all journaled batches. This is the journal → export
+/// bridge `sofi submit --wait --out <file>` writes.
+pub fn job_artifact(job: u64, result: &CampaignResult, stats: &ExecutorStats) -> Json {
+    Json::Obj(vec![
+        ("job".into(), job.to_json()),
+        ("result".into(), result.to_json()),
+        ("stats".into(), stats.to_json()),
+    ])
+}
+
 impl ToJson for Table1Row {
     fn to_json(&self) -> Json {
         Json::Obj(vec![
@@ -939,6 +973,44 @@ mod tests {
         assert_eq!(parsed.get("count").unwrap().as_u64(), Some(3));
         assert_eq!(parsed.get("ratio").unwrap().as_f64(), Some(0.5));
         assert!(json.find("\"name\"").unwrap() < json.find("\"count\"").unwrap());
+    }
+
+    #[test]
+    fn job_artifact_bridges_service_results() {
+        let result = CampaignResult {
+            benchmark: "t".into(),
+            domain: FaultDomain::RegisterFile,
+            space: FaultSpace::new(4, 8),
+            known_benign_weight: 0,
+            golden_cycles: 4,
+            results: vec![],
+        };
+        let stats = ExecutorStats {
+            workers: 2,
+            experiments: 17,
+            ..ExecutorStats::default()
+        };
+        let json = job_artifact(42, &result, &stats).pretty();
+        let parsed = Json::parse(&json).unwrap();
+        assert_eq!(parsed.get("job").unwrap().as_u64(), Some(42));
+        assert_eq!(
+            parsed
+                .get("result")
+                .unwrap()
+                .get("benchmark")
+                .unwrap()
+                .as_str(),
+            Some("t")
+        );
+        assert_eq!(
+            parsed
+                .get("stats")
+                .unwrap()
+                .get("experiments")
+                .unwrap()
+                .as_u64(),
+            Some(17)
+        );
     }
 
     #[test]

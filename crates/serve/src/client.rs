@@ -1,0 +1,181 @@
+//! Client-side wrappers over the wire protocol, used by the `sofi`
+//! CLI's `submit` / `status` / `cancel` subcommands and by the
+//! integration tests.
+
+use crate::job::{JobSpec, JobStatus};
+use crate::protocol::{read_message, write_message, Message, ProtocolError};
+use crate::server::Conn;
+use sofi_campaign::{CampaignResult, ExecutorStats};
+use std::fmt;
+use std::io;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect.
+    Connect(io::Error),
+    /// The transport or framing broke mid-exchange.
+    Protocol(ProtocolError),
+    /// The daemon refused the submission: bounded queue full.
+    Busy {
+        /// Jobs currently queued daemon-side.
+        queued: u32,
+        /// The daemon's queue capacity.
+        capacity: u32,
+    },
+    /// The daemon is draining and accepts no new submissions.
+    ShuttingDown,
+    /// The daemon reported a request-level error.
+    Server(String),
+    /// The daemon sent a message that makes no sense here. Boxed so the
+    /// error variant stays small — `Message` can embed a full
+    /// `CampaignResult`.
+    Unexpected(Box<Message>),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "cannot connect: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol failure: {e}"),
+            ClientError::Busy { queued, capacity } => {
+                write!(
+                    f,
+                    "daemon busy ({queued}/{capacity} jobs queued), retry later"
+                )
+            }
+            ClientError::ShuttingDown => write!(f, "daemon is shutting down"),
+            ClientError::Server(msg) => write!(f, "daemon error: {msg}"),
+            ClientError::Unexpected(msg) => {
+                write!(f, "unexpected reply kind {}", msg.kind())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> ClientError {
+        ClientError::Protocol(e)
+    }
+}
+
+/// One connection to a `sofi serve` daemon.
+#[derive(Debug)]
+pub struct Client {
+    conn: Conn,
+}
+
+impl Client {
+    /// Connects to `addr` — a Unix socket path when it contains `/`,
+    /// TCP `host:port` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Connect`] when the daemon is unreachable.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        Ok(Client {
+            conn: Conn::connect(addr).map_err(ClientError::Connect)?,
+        })
+    }
+
+    fn roundtrip(&mut self, req: &Message) -> Result<Message, ClientError> {
+        write_message(&mut self.conn, req)
+            .map_err(|e| ClientError::Protocol(ProtocolError::Io(e.kind())))?;
+        match read_message(&mut self.conn)? {
+            Some(msg) => Ok(msg),
+            None => Err(ClientError::Protocol(ProtocolError::Truncated)),
+        }
+    }
+
+    /// Submits a job without waiting; returns the assigned id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Busy`] under backpressure,
+    /// [`ClientError::ShuttingDown`] during drain.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<u64, ClientError> {
+        match self.roundtrip(&Message::Submit { spec, wait: false })? {
+            Message::Accepted { job } => Ok(job),
+            Message::Busy { queued, capacity } => Err(ClientError::Busy { queued, capacity }),
+            Message::ShuttingDown => Err(ClientError::ShuttingDown),
+            Message::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Submits a job and blocks until it finishes, invoking
+    /// `on_progress(done, total)` for every streamed progress frame.
+    /// Returns the job id with the final merged result and stats.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit`], plus [`ClientError::Server`] when the job
+    /// fails or is cancelled mid-wait.
+    pub fn submit_wait(
+        &mut self,
+        spec: JobSpec,
+        mut on_progress: impl FnMut(u64, u64),
+    ) -> Result<(u64, CampaignResult, ExecutorStats), ClientError> {
+        let job = match self.roundtrip(&Message::Submit { spec, wait: true })? {
+            Message::Accepted { job } => job,
+            Message::Busy { queued, capacity } => {
+                return Err(ClientError::Busy { queued, capacity });
+            }
+            Message::ShuttingDown => return Err(ClientError::ShuttingDown),
+            Message::Error { message } => return Err(ClientError::Server(message)),
+            other => return Err(ClientError::Unexpected(Box::new(other))),
+        };
+        loop {
+            match read_message(&mut self.conn)? {
+                Some(Message::Progress { done, total, .. }) => on_progress(done, total),
+                Some(Message::JobResult { result, stats, .. }) => {
+                    return Ok((job, result, stats));
+                }
+                Some(Message::Error { message }) => return Err(ClientError::Server(message)),
+                Some(other) => return Err(ClientError::Unexpected(Box::new(other))),
+                None => return Err(ClientError::Protocol(ProtocolError::Truncated)),
+            }
+        }
+    }
+
+    /// Fetches status for one job, or all jobs when `job` is `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for unknown job ids.
+    pub fn status(&mut self, job: Option<u64>) -> Result<Vec<JobStatus>, ClientError> {
+        match self.roundtrip(&Message::Status { job })? {
+            Message::StatusReport { jobs } => Ok(jobs),
+            Message::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Cancels a job.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for unknown or already-terminal jobs.
+    pub fn cancel(&mut self, job: u64) -> Result<(), ClientError> {
+        match self.roundtrip(&Message::Cancel { job })? {
+            Message::Cancelled { .. } => Ok(()),
+            Message::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Asks the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Message::Shutdown)? {
+            Message::ShuttingDown => Ok(()),
+            Message::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+}

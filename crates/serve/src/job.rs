@@ -1,0 +1,234 @@
+//! Job specs and the per-job state machine.
+
+use crate::wire::{self, Reader, WireError, Writer};
+use sofi_campaign::{CampaignConfig, FaultDomain};
+use std::fmt;
+
+/// Everything needed to reconstruct and run a campaign, carried in the
+/// Submit request and persisted verbatim in the journal's job-start
+/// record (so a restarted daemon can rebuild the identical campaign).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Benchmark name (defaults to the source file stem).
+    pub name: String,
+    /// Assembly source text; the daemon assembles it server-side, so the
+    /// client needs no local toolchain state.
+    pub source: String,
+    /// Which fault space to scan.
+    pub domain: FaultDomain,
+    /// Executor knobs (threads, convergence, memoization, timeouts),
+    /// packed via [`CampaignConfig::pack`] on the wire.
+    pub config: CampaignConfig,
+}
+
+impl JobSpec {
+    /// Serializes the spec.
+    pub fn encode(&self, w: &mut Writer) {
+        w.str(&self.name);
+        w.str(&self.source);
+        wire::put_domain(w, self.domain);
+        for word in self.config.pack() {
+            w.u64(word);
+        }
+    }
+
+    /// Deserializes a spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncation or bad tags.
+    pub fn decode(r: &mut Reader<'_>) -> Result<JobSpec, WireError> {
+        let name = r.str()?;
+        let source = r.str()?;
+        let domain = wire::take_domain(r)?;
+        let mut words = [0u64; 6];
+        for word in &mut words {
+            *word = r.u64()?;
+        }
+        Ok(JobSpec {
+            name,
+            source,
+            domain,
+            config: CampaignConfig::unpack(words),
+        })
+    }
+}
+
+/// The job lifecycle: `Queued → Running → Done | Failed | Cancelled`.
+///
+/// `Running` is additionally the state a crashed daemon finds jobs in
+/// after journal replay (start record, no end record); recovery re-queues
+/// the uncovered tail rather than inventing a new state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing experiment batches.
+    Running,
+    /// All experiments executed; the result is available.
+    Done,
+    /// The campaign could not run (assembly error, golden run failed).
+    Failed,
+    /// Cancelled by request before completion.
+    Cancelled,
+}
+
+impl JobState {
+    /// `true` once the job will make no further progress.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+
+    /// One tag byte on the wire and in journal end records.
+    pub fn encode(self) -> u8 {
+        match self {
+            JobState::Queued => 0,
+            JobState::Running => 1,
+            JobState::Done => 2,
+            JobState::Failed => 3,
+            JobState::Cancelled => 4,
+        }
+    }
+
+    /// Inverse of [`JobState::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on an unknown tag.
+    pub fn decode(r: &mut Reader<'_>) -> Result<JobState, WireError> {
+        match r.u8()? {
+            0 => Ok(JobState::Queued),
+            1 => Ok(JobState::Running),
+            2 => Ok(JobState::Done),
+            3 => Ok(JobState::Failed),
+            4 => Ok(JobState::Cancelled),
+            t => Err(r.err(format!("bad job-state tag {t}"))),
+        }
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// A point-in-time public view of one job, as reported over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatus {
+    /// Daemon-assigned job id.
+    pub id: u64,
+    /// Benchmark name from the spec.
+    pub name: String,
+    /// Fault domain from the spec.
+    pub domain: FaultDomain,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Experiments with committed outcomes so far.
+    pub done: u64,
+    /// Total experiments in the job's plan (0 until the golden run and
+    /// def/use analysis have completed).
+    pub total: u64,
+    /// Failure detail for [`JobState::Failed`] jobs, empty otherwise.
+    pub error: String,
+}
+
+impl JobStatus {
+    /// Serializes the status.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u64(self.id);
+        w.str(&self.name);
+        wire::put_domain(w, self.domain);
+        w.u8(self.state.encode());
+        w.u64(self.done);
+        w.u64(self.total);
+        w.str(&self.error);
+    }
+
+    /// Deserializes a status.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncation or bad tags.
+    pub fn decode(r: &mut Reader<'_>) -> Result<JobStatus, WireError> {
+        Ok(JobStatus {
+            id: r.u64()?,
+            name: r.str()?,
+            domain: wire::take_domain(r)?,
+            state: JobState::decode(r)?,
+            done: r.u64()?,
+            total: r.u64()?,
+            error: r.str()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips() {
+        let spec = JobSpec {
+            name: "fib".into(),
+            source: ".text\nnop\n".into(),
+            domain: FaultDomain::RegisterFile,
+            config: CampaignConfig {
+                threads: 3,
+                ..CampaignConfig::default()
+            },
+        };
+        let mut w = Writer::new();
+        spec.encode(&mut w);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(JobSpec::decode(&mut r).unwrap(), spec);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn state_round_trips_and_terminality() {
+        for s in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+        ] {
+            let buf = [s.encode()];
+            assert_eq!(JobState::decode(&mut Reader::new(&buf)).unwrap(), s);
+        }
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+        assert!(JobState::decode(&mut Reader::new(&[9])).is_err());
+    }
+
+    #[test]
+    fn status_round_trips() {
+        let st = JobStatus {
+            id: 42,
+            name: "hi".into(),
+            domain: FaultDomain::Memory,
+            state: JobState::Running,
+            done: 10,
+            total: 16,
+            error: String::new(),
+        };
+        let mut w = Writer::new();
+        st.encode(&mut w);
+        let buf = w.finish();
+        assert_eq!(JobStatus::decode(&mut Reader::new(&buf)).unwrap(), st);
+    }
+}

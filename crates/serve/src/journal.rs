@@ -1,0 +1,419 @@
+//! The crash-safe result journal.
+//!
+//! An append-only record file. Each record is framed as
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length, little-endian
+//! 4       4     FNV-1a-32 checksum of the payload, little-endian
+//! 8       len   payload (tag byte + record body, `wire` codec)
+//! ```
+//!
+//! and committed with `fsync` before the daemon reports the batch as
+//! done, so the file's *valid prefix* is always a consistent history:
+//!
+//! * a record is either fully present with a matching checksum, or it is
+//!   part of the torn tail a crash left behind;
+//! * [`Journal::open`] replays the valid prefix, truncates the tail at
+//!   the first unreadable record, and positions the write cursor there —
+//!   a restarted daemon continues exactly where the last committed batch
+//!   ended;
+//! * experiment outcomes are journaled *before* the in-memory progress
+//!   counter advances, so replay can only over-approximate pending work,
+//!   never lose a committed result.
+
+use crate::job::{JobSpec, JobState};
+use crate::wire::{self, Reader, WireError, Writer};
+use sofi_campaign::ExperimentResult;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A job was accepted: the full spec, so a restarted daemon can
+    /// rebuild the identical campaign (same program, domain and config
+    /// ⇒ same deterministic plan and experiment ids).
+    JobStart {
+        /// Daemon-assigned job id.
+        job: u64,
+        /// The submitted spec, verbatim.
+        spec: JobSpec,
+    },
+    /// A batch of experiments completed and their outcomes are final.
+    Batch {
+        /// Job id.
+        job: u64,
+        /// The batch's outcomes (any order within the job).
+        results: Vec<ExperimentResult>,
+    },
+    /// The job reached a terminal state; replay needs no further work.
+    End {
+        /// Job id.
+        job: u64,
+        /// `Done`, `Failed` or `Cancelled`.
+        state: JobState,
+    },
+}
+
+impl Record {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Record::JobStart { job, spec } => {
+                w.u8(0);
+                w.u64(*job);
+                spec.encode(&mut w);
+            }
+            Record::Batch { job, results } => {
+                w.u8(1);
+                w.u64(*job);
+                w.u32(results.len() as u32);
+                for r in results {
+                    wire::put_experiment_result(&mut w, r);
+                }
+            }
+            Record::End { job, state } => {
+                w.u8(2);
+                w.u64(*job);
+                w.u8(state.encode());
+            }
+        }
+        w.finish()
+    }
+
+    fn decode(payload: &[u8]) -> Result<Record, WireError> {
+        let mut r = Reader::new(payload);
+        let rec = match r.u8()? {
+            0 => Record::JobStart {
+                job: r.u64()?,
+                spec: JobSpec::decode(&mut r)?,
+            },
+            1 => {
+                let job = r.u64()?;
+                let n = r.seq_len(wire::EXPERIMENT_RESULT_MIN_BYTES)?;
+                let mut results = Vec::with_capacity(n);
+                for _ in 0..n {
+                    results.push(wire::take_experiment_result(&mut r)?);
+                }
+                Record::Batch { job, results }
+            }
+            2 => Record::End {
+                job: r.u64()?,
+                state: JobState::decode(&mut r)?,
+            },
+            t => return Err(r.err(format!("bad journal record tag {t}"))),
+        };
+        r.expect_end()?;
+        Ok(rec)
+    }
+}
+
+/// An open journal file positioned at the end of its valid prefix.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    commits: u64,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path`, replays every committed
+    /// record, and truncates any torn tail a crash left behind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures; corrupt record *content* is not
+    /// an error — it marks the end of the committed history.
+    pub fn open(path: &Path) -> io::Result<(Journal, Vec<Record>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (records, valid_len) = replay(&bytes);
+        if valid_len as u64 != bytes.len() as u64 {
+            // Torn tail from a mid-write crash: drop it so the next
+            // append starts at a committed record boundary.
+            file.set_len(valid_len as u64)?;
+        }
+        file.seek(SeekFrom::Start(valid_len as u64))?;
+        let commits = records.len() as u64;
+        Ok((
+            Journal {
+                file,
+                path: path.to_path_buf(),
+                commits,
+            },
+            records,
+        ))
+    }
+
+    /// Appends one record and commits it: the write is flushed and
+    /// `fsync`ed before this returns, so a crash afterwards cannot lose
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; on error the record must be considered
+    /// uncommitted.
+    pub fn append(&mut self, record: &Record) -> io::Result<()> {
+        let payload = record.encode();
+        let mut framed = Vec::with_capacity(8 + payload.len());
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&wire::fnv1a32(&payload).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        self.file.write_all(&framed)?;
+        self.file.sync_data()?;
+        self.commits += 1;
+        Ok(())
+    }
+
+    /// Committed records so far (replayed + appended).
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Decodes the valid record prefix of `bytes`, returning the records and
+/// the byte length of the prefix. Decoding stops — without error — at
+/// the first truncated frame, checksum mismatch, or undecodable payload.
+fn replay(bytes: &[u8]) -> (Vec<Record>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0;
+    while let Some(header) = bytes.get(pos..pos + 8) {
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
+            break;
+        };
+        if wire::fnv1a32(payload) != crc {
+            break;
+        }
+        let Ok(record) = Record::decode(payload) else {
+            break;
+        };
+        records.push(record);
+        pos += 8 + len;
+    }
+    (records, pos)
+}
+
+/// A job reconstructed from journal replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredJob {
+    /// Job id from the start record.
+    pub job: u64,
+    /// The spec, verbatim as submitted.
+    pub spec: JobSpec,
+    /// Every committed experiment outcome, in commit order.
+    pub results: Vec<ExperimentResult>,
+    /// Terminal state, or `None` for a job interrupted mid-campaign
+    /// (start record without end record) — the daemon resumes these.
+    pub end: Option<JobState>,
+}
+
+/// Folds a replayed record stream into per-job recovery state, in
+/// first-seen job order. Batches for unknown jobs (possible only with a
+/// hand-edited journal) are dropped.
+pub fn recover(records: Vec<Record>) -> Vec<RecoveredJob> {
+    let mut order: Vec<u64> = Vec::new();
+    let mut jobs: HashMap<u64, RecoveredJob> = HashMap::new();
+    for record in records {
+        match record {
+            Record::JobStart { job, spec } => {
+                order.push(job);
+                jobs.insert(
+                    job,
+                    RecoveredJob {
+                        job,
+                        spec,
+                        results: Vec::new(),
+                        end: None,
+                    },
+                );
+            }
+            Record::Batch { job, results } => {
+                if let Some(j) = jobs.get_mut(&job) {
+                    j.results.extend(results);
+                }
+            }
+            Record::End { job, state } => {
+                if let Some(j) = jobs.get_mut(&job) {
+                    j.end = Some(state);
+                }
+            }
+        }
+    }
+    order
+        .into_iter()
+        .filter_map(|id| jobs.remove(&id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofi_campaign::{CampaignConfig, FaultDomain, Outcome};
+    use sofi_space::{Experiment, FaultCoord};
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sofi-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            name: "j".into(),
+            source: "nop\n".into(),
+            domain: FaultDomain::Memory,
+            config: CampaignConfig::sequential(),
+        }
+    }
+
+    fn batch(job: u64, ids: &[u32]) -> Record {
+        Record::Batch {
+            job,
+            results: ids
+                .iter()
+                .map(|&id| ExperimentResult {
+                    experiment: Experiment {
+                        id,
+                        coord: FaultCoord {
+                            cycle: u64::from(id) + 1,
+                            bit: 0,
+                        },
+                        weight: 2,
+                    },
+                    outcome: Outcome::NoEffect,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let records = vec![
+            Record::JobStart {
+                job: 1,
+                spec: spec(),
+            },
+            batch(1, &[0, 1, 2]),
+            batch(1, &[3]),
+            Record::End {
+                job: 1,
+                state: JobState::Done,
+            },
+        ];
+        {
+            let (mut j, replayed) = Journal::open(&path).unwrap();
+            assert!(replayed.is_empty());
+            for r in &records {
+                j.append(r).unwrap();
+            }
+            assert_eq!(j.commits(), 4);
+        }
+        let (j, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed, records);
+        assert_eq!(j.commits(), 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.append(&Record::JobStart {
+                job: 1,
+                spec: spec(),
+            })
+            .unwrap();
+            j.append(&batch(1, &[0])).unwrap();
+        }
+        // Simulate a crash mid-write: append half a record.
+        let full = std::fs::read(&path).unwrap();
+        let mut torn = full.clone();
+        torn.extend_from_slice(&[0x55, 0x01, 0x00, 0x00, 0xAA]);
+        std::fs::write(&path, &torn).unwrap();
+
+        let (mut j, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 2, "torn tail must not hide commits");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), full.len() as u64);
+        // The journal stays appendable at the committed boundary.
+        j.append(&batch(1, &[1])).unwrap();
+        drop(j);
+        let (_, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checksum_corruption_ends_the_valid_prefix() {
+        let path = temp_path("crc");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.append(&Record::JobStart {
+                job: 1,
+                spec: spec(),
+            })
+            .unwrap();
+            j.append(&batch(1, &[0])).unwrap();
+            j.append(&batch(1, &[1])).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the *second* record's payload.
+        let second_start = {
+            let len0 = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+            8 + len0
+        };
+        bytes[second_start + 12] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1, "corruption must cut the history there");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recover_partitions_jobs() {
+        let recovered = recover(vec![
+            Record::JobStart {
+                job: 1,
+                spec: spec(),
+            },
+            Record::JobStart {
+                job: 2,
+                spec: spec(),
+            },
+            batch(1, &[0, 1]),
+            batch(2, &[0]),
+            batch(1, &[2]),
+            Record::End {
+                job: 1,
+                state: JobState::Done,
+            },
+        ]);
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[0].job, 1);
+        assert_eq!(recovered[0].results.len(), 3);
+        assert_eq!(recovered[0].end, Some(JobState::Done));
+        assert_eq!(recovered[1].job, 2);
+        assert_eq!(recovered[1].results.len(), 1);
+        assert_eq!(recovered[1].end, None, "job 2 was interrupted");
+    }
+}

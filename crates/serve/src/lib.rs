@@ -1,0 +1,43 @@
+//! `sofi-serve`: the campaign service daemon.
+//!
+//! A std-only (no external dependencies) client/server layer over the
+//! `sofi-campaign` executor:
+//!
+//! - [`protocol`] — a versioned, length-prefixed, checksummed binary
+//!   frame format ([`protocol::Message`]); decoding is total and never
+//!   panics.
+//! - [`job`] — job specs (name + assembly source + fault domain +
+//!   packed [`sofi_campaign::CampaignConfig`]) and the
+//!   `Queued → Running → Done | Failed | Cancelled` state machine.
+//! - [`journal`] — an append-only, per-record-checksummed, fsync'd
+//!   result journal; a killed daemon replays the valid prefix on
+//!   restart and resumes interrupted campaigns from the uncovered tail
+//!   of their fault lists.
+//! - [`scheduler`] — the bounded in-memory job queue and fixed worker
+//!   pool dispatching fault-list batches through
+//!   [`sofi_campaign::Campaign::run_experiments_stats`].
+//! - [`server`] / [`client`] — the TCP/Unix-socket daemon
+//!   ([`server::Server`]) and the CLI-facing client ([`client::Client`]).
+//!
+//! The merged result of a journaled (even interrupted-and-resumed)
+//! campaign is bit-identical to an in-process
+//! [`sofi_campaign::Campaign`] run of the same spec: the daemon replays
+//! committed batches, re-runs only the missing experiments, and
+//! reassembles through the same [`sofi_campaign::Campaign::assemble_result`]
+//! path (proven in `tests/serve_roundtrip.rs` and
+//! `tests/serve_recovery.rs`).
+
+pub mod client;
+pub mod job;
+pub mod journal;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use job::{JobSpec, JobState, JobStatus};
+pub use journal::{Journal, Record, RecoveredJob};
+pub use protocol::{Message, ProtocolError};
+pub use scheduler::{CancelOutcome, Scheduler, ServeConfig, SubmitOutcome};
+pub use server::{Server, ShutdownHandle};

@@ -1,0 +1,279 @@
+//! End-to-end daemon test: start `sofi-serve` on an ephemeral loopback
+//! port, submit campaigns for both fault domains over the socket, and
+//! check the streamed results are bit-identical to running the same
+//! campaign in-process. Also covers status over the wire, Unix-socket
+//! transport, idle-client timeouts and graceful protocol shutdown.
+
+use sofi_campaign::{Campaign, CampaignConfig, FaultDomain};
+use sofi_isa::assemble_text;
+use sofi_serve::protocol::{read_message, write_message, Message, ProtocolError};
+use sofi_serve::server::Conn;
+use sofi_serve::{Client, JobSpec, JobState, ServeConfig, Server};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const PROG: &str = "
+    .data
+    msg: .space 2
+    .text
+    li r1, 'H'
+    sb r1, msg(r0)
+    li r1, 'i'
+    sb r1, msg+1(r0)
+    lb r2, msg(r0)
+    serial r2
+    lb r2, msg+1(r0)
+    serial r2
+";
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("sofi-serve-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}-{name}", std::process::id()))
+}
+
+fn spec(domain: FaultDomain) -> JobSpec {
+    JobSpec {
+        name: "hi".into(),
+        source: PROG.into(),
+        domain,
+        config: CampaignConfig::default(),
+    }
+}
+
+fn in_process(domain: FaultDomain) -> sofi_campaign::CampaignResult {
+    let program = assemble_text("hi", PROG).unwrap();
+    let campaign = Campaign::with_config(&program, CampaignConfig::default()).unwrap();
+    match domain {
+        FaultDomain::Memory => campaign.run_full_defuse(),
+        FaultDomain::RegisterFile => campaign.run_full_defuse_registers(),
+    }
+}
+
+#[test]
+fn loopback_results_bit_identical_for_both_domains() {
+    let journal = temp_path("roundtrip.journal");
+    let _ = std::fs::remove_file(&journal);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &journal,
+        ServeConfig {
+            batch_size: 8, // several Progress frames per campaign
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.run().unwrap());
+
+    for domain in [FaultDomain::Memory, FaultDomain::RegisterFile] {
+        let mut client = Client::connect(&addr).unwrap();
+        let mut progress = Vec::new();
+        let (job, result, stats) = client
+            .submit_wait(spec(domain), |done, total| progress.push((done, total)))
+            .unwrap();
+        assert!(job > 0);
+
+        let expected = in_process(domain);
+        assert_eq!(
+            result, expected,
+            "socket-streamed {domain:?} result differs from in-process run"
+        );
+        assert_eq!(stats.experiments, expected.results.len() as u64);
+
+        // Progress stream: monotone, consistent total, ends complete.
+        let total = expected.results.len() as u64;
+        assert!(
+            progress.len() >= 2,
+            "batch size 8 must stream: {progress:?}"
+        );
+        assert!(
+            progress.windows(2).all(|w| w[0].0 <= w[1].0),
+            "{progress:?}"
+        );
+        assert!(progress.iter().skip(1).all(|&(_, t)| t == total));
+        assert_eq!(progress.last().unwrap().0, total);
+    }
+
+    // Status over the wire: both jobs terminal and fully covered.
+    let mut client = Client::connect(&addr).unwrap();
+    let jobs = client.status(None).unwrap();
+    assert_eq!(jobs.len(), 2);
+    assert!(jobs.iter().all(|j| j.state == JobState::Done));
+    assert!(jobs.iter().all(|j| j.done == j.total && j.total > 0));
+    assert!(matches!(
+        client.status(Some(999)),
+        Err(sofi_serve::ClientError::Server(_))
+    ));
+
+    // Graceful drain via the protocol; the daemon thread exits.
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+    std::fs::remove_file(&journal).unwrap();
+}
+
+#[test]
+fn unix_socket_transport_works() {
+    let journal = temp_path("unix.journal");
+    let socket = temp_path("unix.sock");
+    let _ = std::fs::remove_file(&journal);
+    let server = Server::bind(socket.to_str().unwrap(), &journal, ServeConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    assert!(
+        addr.contains('/'),
+        "unix transport selected by path: {addr}"
+    );
+    let daemon = std::thread::spawn(move || server.run().unwrap());
+
+    let mut client = Client::connect(&addr).unwrap();
+    let (_, result, _) = client
+        .submit_wait(spec(FaultDomain::Memory), |_, _| {})
+        .unwrap();
+    assert_eq!(result, in_process(FaultDomain::Memory));
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+    assert!(!socket.exists(), "socket file cleaned up on shutdown");
+    std::fs::remove_file(&journal).unwrap();
+}
+
+#[test]
+fn idle_clients_time_out_and_get_told() {
+    let journal = temp_path("idle.journal");
+    let _ = std::fs::remove_file(&journal);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &journal,
+        ServeConfig {
+            idle_timeout: Duration::from_millis(100),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = server.shutdown_handle();
+    let daemon = std::thread::spawn(move || server.run().unwrap());
+
+    // Connect and send nothing: the daemon reports the timeout and
+    // closes instead of leaking the handler thread.
+    let mut conn = Conn::connect(&addr).unwrap();
+    match read_message(&mut conn) {
+        Ok(Some(Message::Error { message })) => {
+            assert!(message.contains("idle timeout"), "{message}");
+        }
+        other => panic!("expected idle-timeout error, got {other:?}"),
+    }
+    assert!(matches!(read_message(&mut conn), Ok(None) | Err(_)));
+
+    // A malformed frame gets a protocol error back, not a hangup-only.
+    let mut conn = Conn::connect(&addr).unwrap();
+    use std::io::Write as _;
+    conn.write_all(b"GARBAGEGARBAGEGARBAGE").unwrap();
+    conn.flush().unwrap();
+    match read_message(&mut conn) {
+        Ok(Some(Message::Error { message })) => {
+            assert!(message.contains("protocol error"), "{message}");
+        }
+        other => panic!("expected protocol error reply, got {other:?}"),
+    }
+
+    handle.shutdown();
+    daemon.join().unwrap();
+    std::fs::remove_file(&journal).unwrap();
+}
+
+#[test]
+fn backpressure_and_drain_over_the_wire() {
+    let journal = temp_path("busy.journal");
+    let _ = std::fs::remove_file(&journal);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &journal,
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.run().unwrap());
+
+    // Flood: with a single worker and capacity 1, some submission must
+    // bounce with the typed Busy frame.
+    let mut client = Client::connect(&addr).unwrap();
+    let mut saw_busy = false;
+    for _ in 0..32 {
+        match client.submit(spec(FaultDomain::Memory)) {
+            Ok(_) => {}
+            Err(sofi_serve::ClientError::Busy { capacity, .. }) => {
+                assert_eq!(capacity, 1);
+                saw_busy = true;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(saw_busy, "32 rapid submissions never hit the bounded queue");
+
+    // Shutdown drains: accepted jobs still finish (state visible in the
+    // post-drain scheduler is impossible over the wire, so assert the
+    // drain itself: submissions after shutdown are refused).
+    client.shutdown().unwrap();
+    let mut late = Client::connect(&addr);
+    if let Ok(late) = late.as_mut() {
+        match late.submit(spec(FaultDomain::Memory)) {
+            Err(sofi_serve::ClientError::ShuttingDown)
+            | Err(sofi_serve::ClientError::Protocol(_)) => {}
+            Ok(id) => panic!("draining daemon accepted job {id}"),
+            Err(_) => {} // connection refused once the listener is gone
+        }
+    }
+    daemon.join().unwrap();
+    std::fs::remove_file(&journal).unwrap();
+}
+
+/// The raw protocol functions work against a live daemon (not just the
+/// Client wrapper) — a sanity check that the frame format on the socket
+/// is exactly what `encode_frame` produces.
+#[test]
+fn raw_frames_on_the_socket() {
+    let journal = temp_path("raw.journal");
+    let _ = std::fs::remove_file(&journal);
+    let server = Server::bind("127.0.0.1:0", &journal, ServeConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.run().unwrap());
+
+    let mut conn = Conn::connect(&addr).unwrap();
+    write_message(&mut conn, &Message::Status { job: None }).unwrap();
+    match read_message(&mut conn) {
+        Ok(Some(Message::StatusReport { jobs })) => assert!(jobs.is_empty()),
+        other => panic!("expected empty status report, got {other:?}"),
+    }
+    // A response kind sent *to* the daemon is rejected as unexpected.
+    write_message(&mut conn, &Message::Accepted { job: 1 }).unwrap();
+    match read_message(&mut conn) {
+        Ok(Some(Message::Error { message })) => {
+            assert!(message.contains("unexpected message"), "{message}");
+        }
+        other => panic!("expected error reply, got {other:?}"),
+    }
+    drop(conn);
+
+    let mut conn = Conn::connect(&addr).unwrap();
+    write_message(&mut conn, &Message::Shutdown).unwrap();
+    match read_message(&mut conn) {
+        Ok(Some(Message::ShuttingDown)) => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+    daemon.join().unwrap();
+    let _ = std::fs::remove_file(&journal);
+}
+
+/// Keep `ProtocolError` importable from the integration-test surface —
+/// the fuzz suite in `crates/serve/tests` leans on it, and downstream
+/// users match on it.
+#[test]
+fn protocol_error_is_matchable() {
+    let e = ProtocolError::Truncated;
+    assert_eq!(format!("{e}"), "stream ended mid-frame");
+}
