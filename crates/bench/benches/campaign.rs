@@ -77,6 +77,8 @@ struct AblationRow {
     memo_misses: u64,
     memo_hit_rate: f64,
     memoized_cycles_saved: u64,
+    telemetry_secs: f64,
+    telemetry_overhead_pct: f64,
 }
 sofi::report::impl_to_json!(AblationRow {
     workload,
@@ -102,7 +104,9 @@ sofi::report::impl_to_json!(AblationRow {
     memo_hits,
     memo_misses,
     memo_hit_rate,
-    memoized_cycles_saved
+    memoized_cycles_saved,
+    telemetry_secs,
+    telemetry_overhead_pct
 });
 
 /// Minimum wall time of `f` over `samples` runs (plus one warm-up).
@@ -152,6 +156,20 @@ fn bench_campaign_ablation(_c: &mut Criterion) {
         )
         .unwrap();
         let memoed = Campaign::with_config(&program, CampaignConfig::sequential()).unwrap();
+        // Telemetry-enabled twin of `memoed`: the full optimization stack
+        // with every counter/histogram/span record site live. The default
+        // (`telemetry: false`) leaves the registry disabled, so `memo_secs`
+        // above doubles as the telemetry-disabled baseline — identical
+        // config to the pre-telemetry executor except for one never-taken
+        // branch per record site.
+        let telemetered = Campaign::with_config(
+            &program,
+            CampaignConfig {
+                telemetry: true,
+                ..CampaignConfig::sequential()
+            },
+        )
+        .unwrap();
         for domain in [FaultDomain::Memory, FaultDomain::RegisterFile] {
             let experiments = match domain {
                 FaultDomain::Memory => &plain.plan().experiments,
@@ -173,6 +191,22 @@ fn bench_campaign_ablation(_c: &mut Criterion) {
                 memoed.reset_memo();
                 drop(memoed.run_experiments_stats(domain, experiments))
             });
+            let telemetry_secs = time_min(samples, || {
+                telemetered.reset_memo();
+                drop(telemetered.run_experiments_stats(domain, experiments))
+            });
+            // Overhead guard: live telemetry must stay within 2% of the
+            // disabled path. Min-of-N timing suppresses scheduler noise;
+            // the 10ms absolute slack keeps sub-millisecond smoke
+            // workloads (where 2% is far below timer noise) meaningful.
+            let overhead_budget = memo_secs * 1.02 + 0.010;
+            assert!(
+                telemetry_secs <= overhead_budget,
+                "telemetry overhead guard: {} {:?} enabled {telemetry_secs:.4}s vs \
+                 disabled {memo_secs:.4}s (budget {overhead_budget:.4}s)",
+                program.name,
+                domain,
+            );
             let (_, stats) = converging.run_experiments_stats(domain, experiments);
             memoed.reset_memo();
             let (_, memo_stats) = memoed.run_experiments_stats(domain, experiments);
@@ -203,6 +237,8 @@ fn bench_campaign_ablation(_c: &mut Criterion) {
                 memo_misses: memo_stats.memo_misses,
                 memo_hit_rate: memo_stats.memo_hit_rate(),
                 memoized_cycles_saved: memo_stats.memoized_cycles_saved,
+                telemetry_secs,
+                telemetry_overhead_pct: (telemetry_secs / memo_secs - 1.0) * 100.0,
             };
             println!(
                 "  {:<12} {:<12} naive {:>9.1} exp/s  fork {:>9.1} exp/s  converge {:>9.1} exp/s  \
@@ -218,6 +254,13 @@ fn bench_campaign_ablation(_c: &mut Criterion) {
                 row.speedup_memo_vs_naive,
                 row.early_termination_rate * 100.0,
                 row.memo_hit_rate * 100.0
+            );
+            println!(
+                "  {:<12} {:<12} telemetry on {:>9.1} exp/s  ({:+.1}% vs disabled)",
+                row.workload,
+                row.domain,
+                n / row.telemetry_secs,
+                row.telemetry_overhead_pct
             );
             rows.push(row);
         }

@@ -30,6 +30,11 @@ pub struct CampaignConfig {
     /// `tests/memoization_oracle.rs`); the knob exists for ablation and
     /// debugging, like [`CampaignConfig::convergence`].
     pub memoization: bool,
+    /// Record runtime telemetry (`sofi-telemetry` counters, histograms
+    /// and phase spans) while the campaign runs. Off by default: the
+    /// disabled registry hands out no-op handles, so the executor's hot
+    /// paths pay a single never-taken branch per record site.
+    pub telemetry: bool,
     /// Machine limits used for experiment runs.
     pub machine: MachineConfig,
 }
@@ -42,6 +47,7 @@ impl Default for CampaignConfig {
             timeout_slack: 1_000,
             convergence: true,
             memoization: true,
+            telemetry: false,
             machine: MachineConfig::default(),
         }
     }
@@ -78,8 +84,9 @@ impl CampaignConfig {
     /// Packs the configuration into a fixed array of words for wire and
     /// journal serialization (`sofi-serve` job specs). [`CampaignConfig::unpack`]
     /// is the exact inverse; the field order is part of the `sofi-serve`
-    /// protocol version, so append new fields rather than reordering.
-    pub fn pack(&self) -> [u64; 6] {
+    /// protocol version, so append new fields rather than reordering
+    /// (`telemetry` was appended for protocol version 2).
+    pub fn pack(&self) -> [u64; 7] {
         [
             self.threads as u64,
             self.timeout_factor,
@@ -87,17 +94,19 @@ impl CampaignConfig {
             u64::from(self.convergence),
             u64::from(self.memoization),
             self.machine.serial_limit as u64,
+            u64::from(self.telemetry),
         ]
     }
 
     /// Rebuilds a configuration from [`CampaignConfig::pack`]ed words.
-    pub fn unpack(words: [u64; 6]) -> CampaignConfig {
+    pub fn unpack(words: [u64; 7]) -> CampaignConfig {
         CampaignConfig {
             threads: words[0] as usize,
             timeout_factor: words[1],
             timeout_slack: words[2],
             convergence: words[3] != 0,
             memoization: words[4] != 0,
+            telemetry: words[6] != 0,
             machine: MachineConfig {
                 serial_limit: words[5] as usize,
             },
@@ -138,6 +147,7 @@ mod tests {
                 timeout_slack: 123,
                 convergence: false,
                 memoization: false,
+                telemetry: true,
                 machine: MachineConfig { serial_limit: 42 },
             },
         ];

@@ -6,9 +6,12 @@ use crate::result::{CampaignResult, ExperimentResult, FaultDomain};
 use sofi_isa::Program;
 use sofi_machine::{AccessKind, ConvergenceMask, ExternalEvent, Machine, StateDigest};
 use sofi_space::{DefUseAnalysis, Experiment, InjectionPlan};
+use sofi_telemetry::{names, LocalHistogram, Registry};
 use sofi_trace::{GoldenError, GoldenRun};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Default cycle limit for capturing golden runs.
 const GOLDEN_CYCLE_LIMIT: u64 = 50_000_000;
@@ -80,7 +83,10 @@ impl ExecutorStats {
     }
 
     /// Folds a worker's counters into this (campaign-level) record.
-    fn absorb(&mut self, worker: &ExecutorStats) {
+    /// Associative and commutative, with `ExecutorStats::default()` as
+    /// the identity (`tests/stats_merge.rs`), so campaign totals do not
+    /// depend on worker join order or on how shards were grouped.
+    pub fn absorb(&mut self, worker: &ExecutorStats) {
         self.workers += worker.workers;
         self.experiments += worker.experiments;
         self.pristine_cycles += worker.pristine_cycles;
@@ -165,6 +171,85 @@ pub struct Campaign {
     /// Fault-equivalence outcome memo (see [`MemoCache`]); populated and
     /// consulted only when [`CampaignConfig::memoization`] is on.
     memo: Arc<MemoCache>,
+    /// Runtime observability ([`sofi_telemetry::Registry`]): phase spans,
+    /// per-experiment histograms and executor counters. Disabled (all
+    /// no-ops) unless [`CampaignConfig::telemetry`] is set or an enabled
+    /// registry is passed to [`Campaign::with_events_telemetry`]. Clones
+    /// of the campaign share the registry.
+    telemetry: Registry,
+}
+
+/// Per-worker telemetry handles, resolved once before the experiment
+/// loop so the hot path never touches the registry's name maps. The
+/// per-experiment histograms go through [`LocalHistogram`] write-behind
+/// buffers (plain unsynchronized increments, drained once per shard by
+/// [`WorkerTel::flush`]), and memo-probe latency is *sampled* — one
+/// timed probe in [`PROBE_SAMPLE`] — so the clock reads stay off the
+/// common path. When the registry is disabled every record is a single
+/// never-taken branch and no clock is ever read.
+struct WorkerTel {
+    registry: Registry,
+    faulted_run_cycles: LocalHistogram,
+    restore_distance: LocalHistogram,
+    memo_probe_ns: LocalHistogram,
+    probe_tick: Cell<u64>,
+}
+
+/// One memo probe in this many is timed into
+/// [`names::MEMO_PROBE_NS`] (the first probe always is, so short
+/// campaigns still populate the histogram).
+const PROBE_SAMPLE: u64 = 64;
+
+impl WorkerTel {
+    fn new(registry: &Registry) -> WorkerTel {
+        WorkerTel {
+            registry: registry.clone(),
+            faulted_run_cycles: LocalHistogram::new(registry.histogram(names::FAULTED_RUN_CYCLES)),
+            restore_distance: LocalHistogram::new(
+                registry.histogram(names::RESTORE_DISTANCE_CYCLES),
+            ),
+            memo_probe_ns: LocalHistogram::new(registry.histogram(names::MEMO_PROBE_NS)),
+            probe_tick: Cell::new(0),
+        }
+    }
+
+    /// A memo-cache lookup, latency-sampled when telemetry is enabled.
+    fn probe(&self, memo: &MemoCache, key: &(u64, StateDigest)) -> Option<MemoEntry> {
+        if self.memo_probe_ns.is_enabled() {
+            let tick = self.probe_tick.get();
+            self.probe_tick.set(tick + 1);
+            if tick.is_multiple_of(PROBE_SAMPLE) {
+                let start = Instant::now();
+                let hit = memo.get(key);
+                self.memo_probe_ns
+                    .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                return hit;
+            }
+        }
+        memo.get(key)
+    }
+
+    /// Drains the histogram buffers and mirrors the worker's final
+    /// counters into the registry — once per shard, off the
+    /// per-experiment path.
+    fn flush(&self, stats: &ExecutorStats) {
+        self.faulted_run_cycles.flush();
+        self.restore_distance.flush();
+        self.memo_probe_ns.flush();
+        if !self.registry.is_enabled() {
+            return;
+        }
+        self.registry
+            .counter(names::EXPERIMENTS)
+            .add(stats.experiments);
+        self.registry
+            .counter(names::CONVERGED_EARLY)
+            .add(stats.converged_early);
+        self.registry.counter(names::MEMO_HITS).add(stats.memo_hits);
+        self.registry
+            .counter(names::MEMO_MISSES)
+            .add(stats.memo_misses);
+    }
 }
 
 /// One pristine snapshot: the machine state after `machine.cycle()`
@@ -212,16 +297,54 @@ impl Campaign {
         config: CampaignConfig,
         events: Vec<ExternalEvent>,
     ) -> Result<Campaign, GoldenError> {
-        let golden = GoldenRun::capture_with_events(
-            program,
-            GOLDEN_CYCLE_LIMIT,
-            config.machine,
-            events.clone(),
-        )?;
+        let telemetry = Registry::with_enabled(config.telemetry);
+        Campaign::with_events_telemetry(program, config, events, telemetry)
+    }
+
+    /// [`Campaign::with_config`] recording into a caller-supplied
+    /// telemetry registry (the campaign daemon passes a per-job registry
+    /// here; an enabled registry wins over `config.telemetry`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Campaign::new`].
+    pub fn with_config_telemetry(
+        program: &Program,
+        config: CampaignConfig,
+        telemetry: Registry,
+    ) -> Result<Campaign, GoldenError> {
+        Campaign::with_events_telemetry(program, config, Vec::new(), telemetry)
+    }
+
+    /// [`Campaign::with_events`] recording into a caller-supplied
+    /// telemetry registry. Golden-run capture and def/use pruning are
+    /// timed as spans here, which is why the registry must exist before
+    /// construction rather than being attached afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Campaign::new`].
+    pub fn with_events_telemetry(
+        program: &Program,
+        config: CampaignConfig,
+        events: Vec<ExternalEvent>,
+        telemetry: Registry,
+    ) -> Result<Campaign, GoldenError> {
+        let golden = {
+            let _span = telemetry.span(names::SPAN_GOLDEN_RUN_NS);
+            GoldenRun::capture_with_events(
+                program,
+                GOLDEN_CYCLE_LIMIT,
+                config.machine,
+                events.clone(),
+            )?
+        };
+        let span = telemetry.span(names::SPAN_DEFUSE_NS);
         let analysis = DefUseAnalysis::from_golden(&golden);
         let plan = analysis.plan();
         let reg_analysis = DefUseAnalysis::from_timelines(&golden.reg_timelines(), golden.cycles);
         let reg_plan = reg_analysis.plan();
+        span.finish();
         Ok(Campaign {
             program: program.clone(),
             events,
@@ -233,7 +356,14 @@ impl Campaign {
             config,
             checkpoints: OnceLock::new(),
             memo: Arc::new(MemoCache::default()),
+            telemetry,
         })
+    }
+
+    /// The campaign's telemetry registry (disabled — snapshots empty —
+    /// unless enabled at construction).
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
     }
 
     /// The golden (reference) run.
@@ -432,11 +562,13 @@ impl Campaign {
                 &[]
             };
         if threads <= 1 {
+            let tel = WorkerTel::new(&self.telemetry);
             return self.run_worker(
                 domain,
                 self.fresh_machine(),
                 experiments.iter().copied(),
                 checkpoints,
+                &tel,
             );
         }
 
@@ -450,18 +582,38 @@ impl Campaign {
                 .into_iter()
                 .map(|chunk| {
                     let start = self.machine_at(checkpoints, chunk[0].coord.cycle - 1);
+                    // Each worker records into a forked child registry;
+                    // the parent absorbs them after join. Absorption is
+                    // associative and commutative (sofi-telemetry's
+                    // merge-law tests), so totals do not depend on the
+                    // shard structure.
+                    let child = self.telemetry.fork();
                     scope.spawn(move || {
-                        self.run_worker(domain, start, chunk.iter().copied(), checkpoints)
+                        let tel = WorkerTel::new(&child);
+                        let part = self.run_worker(
+                            domain,
+                            start,
+                            chunk.iter().copied(),
+                            checkpoints,
+                            &tel,
+                        );
+                        (part, child)
                     })
                 })
                 .collect();
+            let joined: Vec<_> = handles
+                .into_iter()
+                .map(|handle| handle.join().expect("campaign worker panicked"))
+                .collect();
+            let merge_span = self.telemetry.span(names::SPAN_MERGE_NS);
             let mut stats = ExecutorStats::default();
             let mut results = Vec::with_capacity(sorted.len());
-            for handle in handles {
-                let (part, worker) = handle.join().expect("campaign worker panicked");
+            for ((part, worker), child) in joined {
                 stats.absorb(&worker);
+                self.telemetry.absorb(&child);
                 results.extend(part);
             }
+            merge_span.finish();
             (results, stats)
         })
     }
@@ -647,12 +799,18 @@ impl Campaign {
         mut pristine: Machine,
         experiments: impl Iterator<Item = Experiment>,
         checkpoints: &[Checkpoint],
+        tel: &WorkerTel,
     ) -> (Vec<ExperimentResult>, ExecutorStats) {
+        let shard_span = tel.registry.span(names::SPAN_SHARD_NS);
         let mut stats = ExecutorStats {
             workers: 1,
             ..ExecutorStats::default()
         };
         let mut out = Vec::new();
+        // The worker's start machine always comes from a checkpoint
+        // restore (or a fresh machine), so the first advance is a
+        // restore distance too.
+        let mut restored = true;
         for e in experiments {
             let pre_cycle = e.coord.cycle - 1;
             if pristine.cycle() > pre_cycle {
@@ -661,8 +819,13 @@ impl Campaign {
                 // machine when none qualifies) instead of always
                 // rebuilding from cycle 0.
                 pristine = self.machine_at(checkpoints, pre_cycle);
+                restored = true;
             }
             stats.pristine_cycles += pre_cycle - pristine.cycle();
+            if restored {
+                tel.restore_distance.record(pre_cycle - pristine.cycle());
+                restored = false;
+            }
             let early = pristine.run_to(pre_cycle);
             assert!(
                 early.is_none(),
@@ -680,13 +843,15 @@ impl Campaign {
                 FaultDomain::Memory => m.flip_bit(e.coord.bit),
                 FaultDomain::RegisterFile => m.flip_reg_bit(e.coord.bit),
             }
-            let outcome = self.run_faulted(&mut m, checkpoints, &mut stats);
+            let outcome = self.run_faulted(&mut m, checkpoints, &mut stats, tel);
             stats.experiments += 1;
             out.push(ExperimentResult {
                 experiment: e,
                 outcome,
             });
         }
+        tel.flush(&stats);
+        shard_span.finish();
         (out, stats)
     }
 
@@ -724,6 +889,7 @@ impl Campaign {
         m: &mut Machine,
         checkpoints: &[Checkpoint],
         stats: &mut ExecutorStats,
+        tel: &WorkerTel,
     ) -> Outcome {
         let budget = self.config.cycle_budget(self.golden.cycles);
         let start_cycle = m.cycle();
@@ -737,9 +903,10 @@ impl Campaign {
             // fault domain) that produced this exact post-injection state
             // already determined the outcome.
             let key = (m.cycle(), m.state_digest());
-            if let Some(hit) = self.memo.get(&key) {
+            if let Some(hit) = tel.probe(&self.memo, &key) {
                 stats.memo_hits += 1;
                 stats.memoized_cycles_saved += hit.final_cycle.saturating_sub(m.cycle());
+                tel.faulted_run_cycles.record(0);
                 return hit.outcome;
             }
             stats.memo_misses += 1;
@@ -753,6 +920,7 @@ impl Campaign {
             for ckpt in &checkpoints[first..] {
                 if let Some(status) = m.run_to(ckpt.machine.cycle()) {
                     stats.faulted_cycles += m.cycle() - start_cycle;
+                    tel.faulted_run_cycles.record(m.cycle() - start_cycle);
                     let outcome =
                         Outcome::classify(status, m.serial(), m.detect_count(), &self.golden);
                     self.memo.insert_all(
@@ -771,8 +939,9 @@ impl Campaign {
                     // exact pristine state, pre-seeded per checkpoint —
                     // resolve here and also donate their own waypoints.
                     let key = (m.cycle(), m.state_digest());
-                    if let Some(hit) = self.memo.get(&key) {
+                    if let Some(hit) = tel.probe(&self.memo, &key) {
                         stats.faulted_cycles += m.cycle() - start_cycle;
+                        tel.faulted_run_cycles.record(m.cycle() - start_cycle);
                         stats.memo_hits += 1;
                         stats.memoized_cycles_saved += hit.final_cycle.saturating_sub(m.cycle());
                         self.memo.insert_all(
@@ -788,6 +957,7 @@ impl Campaign {
                 }
                 if self.config.convergence && m.converged_with_masked(&ckpt.machine, &ckpt.mask) {
                     stats.faulted_cycles += m.cycle() - start_cycle;
+                    tel.faulted_run_cycles.record(m.cycle() - start_cycle);
                     stats.converged_early += 1;
                     stats.faulted_cycles_saved += self.golden.cycles - m.cycle();
                     let outcome = if !self.golden.matches_serial_prefix(m.serial()) {
@@ -812,6 +982,7 @@ impl Campaign {
         }
         let status = m.run(budget);
         stats.faulted_cycles += m.cycle() - start_cycle;
+        tel.faulted_run_cycles.record(m.cycle() - start_cycle);
         let outcome = Outcome::classify(status, m.serial(), m.detect_count(), &self.golden);
         self.memo.insert_all(
             &waypoints,

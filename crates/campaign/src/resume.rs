@@ -23,6 +23,15 @@ pub fn unfinished(plan: &[Experiment], done: &HashSet<u32>) -> Vec<Experiment> {
         .collect()
 }
 
+/// How many of `plan`'s experiments are already covered by `done` —
+/// the journal-recovered head the daemon *skips* on resume. Counted
+/// against the plan (not `done.len()`) so stale journal entries for
+/// other plans never inflate the figure; the daemon mirrors this into
+/// the `serve.experiments_recovered` telemetry counter.
+pub fn recovered_count(plan: &[Experiment], done: &HashSet<u32>) -> u64 {
+    plan.iter().filter(|e| done.contains(&e.id)).count() as u64
+}
+
 /// Splits `experiments` into contiguous batches of at most `batch_size`
 /// (the last batch may be shorter). `batch_size` of 0 is treated as 1 so
 /// the schedule always makes progress.
@@ -58,6 +67,21 @@ mod tests {
         assert_eq!(ids, vec![0, 2, 4, 5, 6, 7, 8]);
         assert!(unfinished(&plan, &(0..10).collect()).is_empty());
         assert_eq!(unfinished(&plan, &HashSet::new()).len(), 10);
+    }
+
+    #[test]
+    fn recovered_complements_unfinished() {
+        let plan: Vec<Experiment> = (0..10).map(exp).collect();
+        // `done` includes ids outside the plan: they must not count.
+        let done: HashSet<u32> = [1, 3, 9, 77, 99].into_iter().collect();
+        let recovered = recovered_count(&plan, &done);
+        assert_eq!(recovered, 3);
+        assert_eq!(
+            recovered + unfinished(&plan, &done).len() as u64,
+            plan.len() as u64
+        );
+        assert_eq!(recovered_count(&[], &done), 0);
+        assert_eq!(recovered_count(&plan, &HashSet::new()), 0);
     }
 
     #[test]

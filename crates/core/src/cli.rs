@@ -14,7 +14,8 @@
 //! sofi serve [--addr A] [--journal PATH]   campaign service daemon
 //! sofi submit <prog.s> [--registers|--memory] [--wait]
 //!                                          queue a campaign on the daemon
-//! sofi status [job-id]                     job table from the daemon
+//! sofi status [job-id]                     job table with live progress/rates
+//! sofi stats [job-id] [--watch]            telemetry snapshot from the daemon
 //! sofi cancel <job-id>                     cancel a queued/running job
 //! sofi shutdown                            ask the daemon to drain and exit
 //! ```
@@ -33,6 +34,7 @@ use sofi_metrics::{
 use sofi_report::{fault_space_diagram, Table};
 use sofi_rng::DefaultRng;
 use sofi_serve::{Client, JobSpec, ServeConfig, Server};
+use sofi_telemetry::Snapshot;
 use std::fmt::Write as _;
 
 /// Default daemon address for `serve`/`submit`/`status`/`cancel`.
@@ -65,7 +67,7 @@ sofi — fault-injection methodology toolkit (DSN'15 pitfalls paper)
 
 USAGE:
   sofi run <prog.s> [--limit N]
-  sofi campaign <prog.s> [--registers] [--json] [--threads N]
+  sofi campaign <prog.s> [--registers] [--json] [--threads N] [--telemetry FILE]
   sofi sample <prog.s> --draws N [--seed S] [--mode raw|weighted|biased]
   sofi diagram <prog.s>
   sofi compare <baseline.s> <hardened.s>
@@ -73,6 +75,7 @@ USAGE:
   sofi submit <prog.s> [--addr A] [--registers|--memory] [--wait]
               [--threads N] [--json] [--out FILE]
   sofi status [job-id] [--addr A]
+  sofi stats [job-id] [--addr A] [--watch] [--json] [--out FILE]
   sofi cancel <job-id> [--addr A]
   sofi shutdown [--addr A]
 
@@ -97,6 +100,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("cancel") => cmd_cancel(&args[1..]),
         Some("shutdown") => cmd_shutdown(&args[1..]),
         Some("help") | None => Ok(USAGE.to_owned()),
@@ -241,11 +245,14 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
             ("--registers", false),
             ("--json", false),
             ("--threads", true),
+            ("--telemetry", true),
         ],
     )?;
     let program = load_program(positional(args, 0)?)?;
+    let telemetry_path = flag_value(args, "--telemetry");
     let config = CampaignConfig {
         threads: parse_u64(args, "--threads", 0)? as usize,
+        telemetry: telemetry_path.is_some(),
         ..CampaignConfig::default()
     };
     let campaign = Campaign::with_config(&program, config)
@@ -255,6 +262,11 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
     } else {
         campaign.run_full_defuse()
     };
+    if let Some(path) = telemetry_path {
+        let artifact = sofi_report::telemetry_artifact(&campaign.telemetry().snapshot());
+        std::fs::write(path, artifact.pretty())
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    }
     if args.iter().any(|a| a == "--json") {
         return Ok(sofi_report::to_json(&result));
     }
@@ -449,8 +461,12 @@ fn cmd_submit(args: &[String]) -> Result<String, CliError> {
         return Ok(format!("job {job} queued on {}\n", addr_of(args)));
     }
     let (job, result, stats) = client
-        .submit_wait(spec, |done, total| {
-            eprint!("\rprogress: {done}/{total} experiments");
+        .submit_wait(spec, |done, total, stats| {
+            eprint!(
+                "\rprogress: {done}/{total} experiments ({:.0}% early-term, {:.0}% memo hits)",
+                stats.early_termination_rate() * 100.0,
+                stats.memo_hit_rate() * 100.0,
+            );
             if total > 0 && done == total {
                 eprintln!();
             }
@@ -500,7 +516,15 @@ fn cmd_status(args: &[String]) -> Result<String, CliError> {
     if jobs.is_empty() {
         return Ok("no jobs\n".to_string());
     }
-    let mut t = Table::new(vec!["job", "benchmark", "domain", "state", "progress"]);
+    let mut t = Table::new(vec![
+        "job",
+        "benchmark",
+        "domain",
+        "state",
+        "progress",
+        "early-term",
+        "memo hits",
+    ]);
     for j in &jobs {
         // Jobs replayed from a journal know their covered count but not
         // the plan size (the golden run isn't redone for terminal jobs).
@@ -516,15 +540,105 @@ fn cmd_status(args: &[String]) -> Result<String, CliError> {
         } else {
             format!("{} ({})", j.state, j.error)
         };
+        // Rates are ratios of the counters merged from every committed
+        // batch, so they are meaningful mid-run; recovered terminal jobs
+        // replayed without stats show "-" instead of misleading zeros.
+        let (early, memo) = if j.stats.experiments > 0 {
+            (
+                format!("{:.0}%", j.stats.early_termination_rate() * 100.0),
+                format!("{:.0}%", j.stats.memo_hit_rate() * 100.0),
+            )
+        } else {
+            ("-".to_string(), "-".to_string())
+        };
         t.row(vec![
             j.id.to_string(),
             j.name.clone(),
             format!("{:?}", j.domain),
             state,
             progress,
+            early,
+            memo,
         ]);
     }
     Ok(format!("{t}"))
+}
+
+/// Renders a telemetry snapshot as scalar and histogram tables.
+fn render_snapshot(snap: &Snapshot) -> String {
+    if snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty() {
+        return "no telemetry recorded yet\n".to_string();
+    }
+    let mut out = String::new();
+    if !snap.counters.is_empty() || !snap.gauges.is_empty() {
+        let mut t = Table::new(vec!["metric", "value"]);
+        for (name, value) in &snap.counters {
+            t.row(vec![name.clone(), value.to_string()]);
+        }
+        for (name, value) in &snap.gauges {
+            t.row(vec![format!("{name} (gauge)"), value.to_string()]);
+        }
+        let _ = writeln!(out, "{t}");
+    }
+    if !snap.histograms.is_empty() {
+        let mut t = Table::new(vec!["histogram", "count", "mean", "p50", "p99", "max"]);
+        for (name, h) in &snap.histograms {
+            t.row(vec![
+                name.clone(),
+                h.count.to_string(),
+                format!("{:.1}", h.mean()),
+                h.quantile(0.5).to_string(),
+                h.quantile(0.99).to_string(),
+                h.max.to_string(),
+            ]);
+        }
+        let _ = writeln!(out, "{t}");
+    }
+    out
+}
+
+fn cmd_stats(args: &[String]) -> Result<String, CliError> {
+    reject_unknown_flags(
+        args,
+        &[
+            ("--addr", true),
+            ("--watch", false),
+            ("--json", false),
+            ("--out", true),
+        ],
+    )?;
+    let job = match positional(args, 0) {
+        Ok(id) => Some(
+            id.parse::<u64>()
+                .map_err(|_| CliError(format!("job id must be a number, got `{id}`")))?,
+        ),
+        Err(_) => None,
+    };
+    let mut client = connect(args)?;
+    let mut snapshot = client.stats(job).map_err(|e| CliError(e.to_string()))?;
+    if args.iter().any(|a| a == "--watch") {
+        // Repaint to stderr roughly once a second until the snapshot
+        // stops changing (an idle daemon records nothing new), then fall
+        // through and return the final render like a plain `stats` call.
+        loop {
+            eprintln!("{}", render_snapshot(&snapshot));
+            std::thread::sleep(std::time::Duration::from_millis(1000));
+            let next = client.stats(job).map_err(|e| CliError(e.to_string()))?;
+            if next == snapshot {
+                break;
+            }
+            snapshot = next;
+        }
+    }
+    let artifact = sofi_report::telemetry_artifact(&snapshot);
+    if let Some(path) = flag_value(args, "--out") {
+        std::fs::write(path, artifact.pretty())
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    }
+    if args.iter().any(|a| a == "--json") {
+        return Ok(artifact.pretty());
+    }
+    Ok(render_snapshot(&snapshot))
 }
 
 fn cmd_cancel(args: &[String]) -> Result<String, CliError> {
@@ -705,6 +819,38 @@ mod tests {
     }
 
     #[test]
+    fn campaign_telemetry_flag_writes_snapshot_json() {
+        let p = write_temp("hi10.s", HI);
+        let out_path = std::env::temp_dir().join("sofi-cli-tests/hi10.telemetry.json");
+        let out = dispatch(&args(&[
+            "campaign",
+            p.to_str().unwrap(),
+            "--telemetry",
+            out_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("F = 48"), "{out}");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        let parsed = sofi_report::Json::parse(&json).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(sofi_report::Json::as_str),
+            Some(sofi_report::TELEMETRY_SCHEMA)
+        );
+        let experiments = parsed
+            .get("counters")
+            .and_then(|c| c.get("executor.experiments"))
+            .and_then(sofi_report::Json::as_u64);
+        assert!(experiments.is_some_and(|n| n > 0), "{json}");
+        assert!(
+            parsed
+                .get("histograms")
+                .and_then(|h| h.get("executor.faulted_run_cycles"))
+                .is_some(),
+            "{json}"
+        );
+    }
+
+    #[test]
     fn submit_rejects_conflicting_domains() {
         let p = write_temp("hi9.s", HI);
         let err = dispatch(&args(&[
@@ -725,5 +871,15 @@ mod tests {
             .unwrap_err()
             .0;
         assert!(err.contains("cannot connect"), "{err}");
+        let err = dispatch(&args(&["stats", "--addr", "127.0.0.1:1"]))
+            .unwrap_err()
+            .0;
+        assert!(err.contains("cannot connect"), "{err}");
+    }
+
+    #[test]
+    fn stats_rejects_bad_job_id() {
+        let err = dispatch(&args(&["stats", "seven"])).unwrap_err().0;
+        assert!(err.contains("job id must be a number"), "{err}");
     }
 }

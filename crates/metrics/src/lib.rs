@@ -24,6 +24,12 @@
 //! * [`confidence`] — Wilson score intervals for sampled estimates.
 //! * [`vulnerability`] — AVF/PVF-style per-location vulnerability and the
 //!   MWTF metric from related work (§VII), provided as extensions.
+//!
+//! Not to be confused with `sofi-telemetry`: this crate scores the
+//! *programs under test* from experiment outcomes; that one observes the
+//! *harness itself* at runtime (faulted-run lengths, memo-probe
+//! latencies, journal fsync times) and would exist even if every
+//! experiment result were discarded.
 
 pub mod breakdown;
 pub mod compare;

@@ -23,6 +23,7 @@ use sofi_campaign::{
 use sofi_machine::Trap;
 use sofi_metrics::Table1Row;
 use sofi_space::{Experiment, FaultCoord, FaultSpace};
+use sofi_telemetry::{Bucket, HistogramSnapshot, Snapshot};
 use std::fmt;
 
 /// Serializes any exportable structure to pretty-printed JSON.
@@ -835,6 +836,75 @@ pub fn job_artifact(job: u64, result: &CampaignResult, stats: &ExecutorStats) ->
     ])
 }
 
+impl ToJson for Bucket {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("lo".into(), self.lo.to_json()),
+            ("hi".into(), self.hi.to_json()),
+            ("count".into(), self.count.to_json()),
+        ])
+    }
+}
+
+impl ToJson for HistogramSnapshot {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), self.count.to_json()),
+            ("sum".into(), self.sum.to_json()),
+            ("min".into(), self.min.to_json()),
+            ("max".into(), self.max.to_json()),
+            ("mean".into(), self.mean().to_json()),
+            ("p50".into(), self.quantile(0.5).to_json()),
+            ("p99".into(), self.quantile(0.99).to_json()),
+            ("buckets".into(), self.buckets.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Snapshot {
+    fn to_json(&self) -> Json {
+        let entries = |pairs: &[(String, u64)]| {
+            Json::Obj(
+                pairs
+                    .iter()
+                    .map(|(name, v)| (name.clone(), v.to_json()))
+                    .collect(),
+            )
+        };
+        Json::Obj(vec![
+            ("counters".into(), entries(&self.counters)),
+            ("gauges".into(), entries(&self.gauges)),
+            (
+                "histograms".into(),
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(name, h)| (name.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Schema tag stamped into every [`telemetry_artifact`]. Bump the `/v1`
+/// suffix on any incompatible change to the snapshot JSON shape.
+pub const TELEMETRY_SCHEMA: &str = "sofi.telemetry.snapshot/v1";
+
+/// The artifact exported for a telemetry snapshot: the schema tag, then
+/// the counters, gauges and histograms as name-keyed objects (names are
+/// sorted — registry snapshots come out that way — so artifacts diff
+/// cleanly between runs). Histograms carry their occupied buckets plus
+/// derived `mean`/`p50`/`p99` so consumers need no bucket math.
+pub fn telemetry_artifact(snapshot: &Snapshot) -> Json {
+    let Json::Obj(mut fields) = snapshot.to_json() else {
+        unreachable!("Snapshot serializes as an object");
+    };
+    let mut obj = vec![("schema".into(), Json::Str(TELEMETRY_SCHEMA.into()))];
+    obj.append(&mut fields);
+    Json::Obj(obj)
+}
+
 impl ToJson for Table1Row {
     fn to_json(&self) -> Json {
         Json::Obj(vec![
@@ -1011,6 +1081,66 @@ mod tests {
                 .as_u64(),
             Some(17)
         );
+    }
+
+    #[test]
+    fn telemetry_artifact_has_a_stable_schema() {
+        let reg = sofi_telemetry::Registry::enabled();
+        reg.counter("executor.experiments").add(48);
+        reg.gauge("serve.queue_depth").set(3);
+        let h = reg.histogram("executor.faulted_run_cycles");
+        for v in [1, 2, 3, 100, 100, 4096] {
+            h.record(v);
+        }
+        let json = telemetry_artifact(&reg.snapshot()).pretty();
+        let parsed = Json::parse(&json).unwrap();
+
+        assert_eq!(
+            parsed.get("schema").unwrap().as_str(),
+            Some("sofi.telemetry.snapshot/v1")
+        );
+        assert_eq!(
+            parsed
+                .get("counters")
+                .unwrap()
+                .get("executor.experiments")
+                .unwrap()
+                .as_u64(),
+            Some(48)
+        );
+        assert_eq!(
+            parsed
+                .get("gauges")
+                .unwrap()
+                .get("serve.queue_depth")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
+        let hist = parsed
+            .get("histograms")
+            .unwrap()
+            .get("executor.faulted_run_cycles")
+            .unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(6));
+        assert_eq!(hist.get("min").unwrap().as_u64(), Some(1));
+        assert_eq!(hist.get("max").unwrap().as_u64(), Some(4096));
+        assert!(hist.get("mean").unwrap().as_f64().unwrap() > 0.0);
+        assert!(hist.get("p50").unwrap().as_u64().unwrap() >= 1);
+        assert!(hist.get("p99").unwrap().as_u64().unwrap() <= 4096);
+        let buckets = hist.get("buckets").unwrap().as_array().unwrap();
+        assert!(!buckets.is_empty());
+        for b in buckets {
+            assert!(b.get("lo").unwrap().as_u64() <= b.get("hi").unwrap().as_u64());
+            assert!(b.get("count").unwrap().as_u64().unwrap() > 0);
+        }
+
+        // The empty snapshot still carries every schema section.
+        let empty = telemetry_artifact(&Snapshot::default()).pretty();
+        let parsed = Json::parse(&empty).unwrap();
+        assert_eq!(parsed.get("counters"), Some(&Json::Obj(vec![])));
+        assert_eq!(parsed.get("gauges"), Some(&Json::Obj(vec![])));
+        assert_eq!(parsed.get("histograms"), Some(&Json::Obj(vec![])));
     }
 
     #[test]

@@ -16,5 +16,7 @@ pub mod table;
 
 pub use bars::bar_chart;
 pub use diagram::{fault_space_diagram, outcome_diagram};
-pub use export::{job_artifact, to_json, write_json, Json, ToJson};
+pub use export::{
+    job_artifact, telemetry_artifact, to_json, write_json, Json, ToJson, TELEMETRY_SCHEMA,
+};
 pub use table::Table;

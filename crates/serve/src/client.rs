@@ -6,6 +6,7 @@ use crate::job::{JobSpec, JobStatus};
 use crate::protocol::{read_message, write_message, Message, ProtocolError};
 use crate::server::Conn;
 use sofi_campaign::{CampaignResult, ExecutorStats};
+use sofi_telemetry::Snapshot;
 use std::fmt;
 use std::io;
 
@@ -106,8 +107,10 @@ impl Client {
     }
 
     /// Submits a job and blocks until it finishes, invoking
-    /// `on_progress(done, total)` for every streamed progress frame.
-    /// Returns the job id with the final merged result and stats.
+    /// `on_progress(done, total, stats)` for every streamed progress
+    /// frame — `stats` carries the executor counters merged over the
+    /// batches committed so far. Returns the job id with the final
+    /// merged result and stats.
     ///
     /// # Errors
     ///
@@ -116,7 +119,7 @@ impl Client {
     pub fn submit_wait(
         &mut self,
         spec: JobSpec,
-        mut on_progress: impl FnMut(u64, u64),
+        mut on_progress: impl FnMut(u64, u64, &ExecutorStats),
     ) -> Result<(u64, CampaignResult, ExecutorStats), ClientError> {
         let job = match self.roundtrip(&Message::Submit { spec, wait: true })? {
             Message::Accepted { job } => job,
@@ -129,7 +132,9 @@ impl Client {
         };
         loop {
             match read_message(&mut self.conn)? {
-                Some(Message::Progress { done, total, .. }) => on_progress(done, total),
+                Some(Message::Progress {
+                    done, total, stats, ..
+                }) => on_progress(done, total, &stats),
                 Some(Message::JobResult { result, stats, .. }) => {
                     return Ok((job, result, stats));
                 }
@@ -148,6 +153,20 @@ impl Client {
     pub fn status(&mut self, job: Option<u64>) -> Result<Vec<JobStatus>, ClientError> {
         match self.roundtrip(&Message::Status { job })? {
             Message::StatusReport { jobs } => Ok(jobs),
+            Message::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Fetches a telemetry snapshot: one job's registry, or the merged
+    /// daemon-wide view when `job` is `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for unknown job ids.
+    pub fn stats(&mut self, job: Option<u64>) -> Result<Snapshot, ClientError> {
+        match self.roundtrip(&Message::Stats { job })? {
+            Message::Telemetry { snapshot } => Ok(snapshot),
             Message::Error { message } => Err(ClientError::Server(message)),
             other => Err(ClientError::Unexpected(Box::new(other))),
         }

@@ -1,7 +1,7 @@
 //! Job specs and the per-job state machine.
 
 use crate::wire::{self, Reader, WireError, Writer};
-use sofi_campaign::{CampaignConfig, FaultDomain};
+use sofi_campaign::{CampaignConfig, ExecutorStats, FaultDomain};
 use std::fmt;
 
 /// Everything needed to reconstruct and run a campaign, carried in the
@@ -41,7 +41,7 @@ impl JobSpec {
         let name = r.str()?;
         let source = r.str()?;
         let domain = wire::take_domain(r)?;
-        let mut words = [0u64; 6];
+        let mut words = [0u64; 7];
         for word in &mut words {
             *word = r.u64()?;
         }
@@ -140,6 +140,11 @@ pub struct JobStatus {
     pub total: u64,
     /// Failure detail for [`JobState::Failed`] jobs, empty otherwise.
     pub error: String,
+    /// Live executor statistics merged from every batch committed so
+    /// far (all-zero until the first batch lands). Derived figures like
+    /// [`ExecutorStats::early_termination_rate`] are ratios of these
+    /// merged counters, so they stay meaningful mid-run.
+    pub stats: ExecutorStats,
 }
 
 impl JobStatus {
@@ -152,6 +157,7 @@ impl JobStatus {
         w.u64(self.done);
         w.u64(self.total);
         w.str(&self.error);
+        wire::put_stats(w, &self.stats);
     }
 
     /// Deserializes a status.
@@ -168,6 +174,7 @@ impl JobStatus {
             done: r.u64()?,
             total: r.u64()?,
             error: r.str()?,
+            stats: wire::take_stats(r)?,
         })
     }
 }
@@ -184,6 +191,7 @@ mod tests {
             domain: FaultDomain::RegisterFile,
             config: CampaignConfig {
                 threads: 3,
+                telemetry: true,
                 ..CampaignConfig::default()
             },
         };
@@ -225,6 +233,12 @@ mod tests {
             done: 10,
             total: 16,
             error: String::new(),
+            stats: ExecutorStats {
+                workers: 2,
+                experiments: 10,
+                converged_early: 4,
+                ..ExecutorStats::default()
+            },
         };
         let mut w = Writer::new();
         st.encode(&mut w);

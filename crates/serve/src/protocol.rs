@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "SOFI"
-//! 4       2     protocol version (currently 1), little-endian
+//! 4       2     protocol version (currently 2), little-endian
 //! 6       2     message kind, little-endian
 //! 8       4     payload length in bytes, little-endian
 //! 12      4     FNV-1a-32 checksum, little-endian
@@ -26,6 +26,7 @@
 use crate::job::{JobSpec, JobStatus};
 use crate::wire::{self, Reader, WireError, Writer};
 use sofi_campaign::{CampaignResult, ExecutorStats};
+use sofi_telemetry::Snapshot;
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -33,7 +34,12 @@ use std::io::{self, Read, Write};
 pub const MAGIC: [u8; 4] = *b"SOFI";
 /// Current protocol version. Bump on any incompatible frame or payload
 /// change; peers reject mismatches with [`ProtocolError::BadVersion`].
-pub const VERSION: u16 = 1;
+///
+/// History: v2 added the [`Message::Stats`]/[`Message::Telemetry`] frame
+/// pair, live [`ExecutorStats`] in [`Message::Progress`] and
+/// [`JobStatus`], and a seventh packed [`sofi_campaign::CampaignConfig`]
+/// word (the `telemetry` flag).
+pub const VERSION: u16 = 2;
 /// Frame header size in bytes.
 pub const HEADER_LEN: usize = 16;
 /// Upper bound on payload size (64 MiB) — rejected before allocation.
@@ -128,6 +134,13 @@ pub enum Message {
     /// Graceful drain: finish queued and running jobs, accept no new
     /// submissions, then exit.
     Shutdown,
+    /// Request a telemetry snapshot: one job's registry, or the
+    /// daemon-wide registry merged with every job's when `job` is
+    /// `None`. Answered with [`Message::Telemetry`].
+    Stats {
+        /// Job id, or `None` for the merged daemon-wide view.
+        job: Option<u64>,
+    },
 
     // --- responses (daemon → client) ---
     /// Submission accepted and queued.
@@ -155,6 +168,8 @@ pub enum Message {
         done: u64,
         /// Total experiments in the plan.
         total: u64,
+        /// Executor counters merged over the batches committed so far.
+        stats: ExecutorStats,
     },
     /// Final result of a finished job.
     JobResult {
@@ -178,6 +193,11 @@ pub enum Message {
     },
     /// The daemon is draining and accepts no new submissions.
     ShuttingDown,
+    /// Answer to [`Message::Stats`]: a point-in-time telemetry snapshot.
+    Telemetry {
+        /// Counters, gauges and histograms from the requested registry.
+        snapshot: Snapshot,
+    },
 }
 
 impl Message {
@@ -188,6 +208,7 @@ impl Message {
             Message::Status { .. } => 2,
             Message::Cancel { .. } => 3,
             Message::Shutdown => 4,
+            Message::Stats { .. } => 5,
             Message::Accepted { .. } => 100,
             Message::Busy { .. } => 101,
             Message::StatusReport { .. } => 102,
@@ -196,6 +217,7 @@ impl Message {
             Message::Cancelled { .. } => 105,
             Message::Error { .. } => 106,
             Message::ShuttingDown => 107,
+            Message::Telemetry { .. } => 108,
         }
     }
 
@@ -206,7 +228,7 @@ impl Message {
                 spec.encode(&mut w);
                 w.bool(*wait);
             }
-            Message::Status { job } => match job {
+            Message::Status { job } | Message::Stats { job } => match job {
                 Some(id) => {
                     w.bool(true);
                     w.u64(*id);
@@ -226,10 +248,16 @@ impl Message {
                     j.encode(&mut w);
                 }
             }
-            Message::Progress { job, done, total } => {
+            Message::Progress {
+                job,
+                done,
+                total,
+                stats,
+            } => {
                 w.u64(*job);
                 w.u64(*done);
                 w.u64(*total);
+                wire::put_stats(&mut w, stats);
             }
             Message::JobResult { job, result, stats } => {
                 w.u64(*job);
@@ -238,6 +266,7 @@ impl Message {
             }
             Message::Cancelled { job } => w.u64(*job),
             Message::Error { message } => w.str(message),
+            Message::Telemetry { snapshot } => wire::put_snapshot(&mut w, snapshot),
         }
         w.finish()
     }
@@ -256,6 +285,10 @@ impl Message {
             }
             3 => Message::Cancel { job: r.u64()? },
             4 => Message::Shutdown,
+            5 => {
+                let job = if r.bool()? { Some(r.u64()?) } else { None };
+                Message::Stats { job }
+            }
             100 => Message::Accepted { job: r.u64()? },
             101 => Message::Busy {
                 queued: r.u32()?,
@@ -275,6 +308,7 @@ impl Message {
                 job: r.u64()?,
                 done: r.u64()?,
                 total: r.u64()?,
+                stats: wire::take_stats(&mut r)?,
             },
             104 => Message::JobResult {
                 job: r.u64()?,
@@ -284,6 +318,9 @@ impl Message {
             105 => Message::Cancelled { job: r.u64()? },
             106 => Message::Error { message: r.str()? },
             107 => Message::ShuttingDown,
+            108 => Message::Telemetry {
+                snapshot: wire::take_snapshot(&mut r)?,
+            },
             other => return Err(ProtocolError::UnknownKind(other)),
         };
         r.expect_end()?;
@@ -448,6 +485,8 @@ mod tests {
             Message::Status { job: Some(3) },
             Message::Cancel { job: 9 },
             Message::Shutdown,
+            Message::Stats { job: None },
+            Message::Stats { job: Some(7) },
             Message::Accepted { job: 1 },
             Message::Busy {
                 queued: 16,
@@ -458,13 +497,33 @@ mod tests {
                 job: 1,
                 done: 32,
                 total: 64,
+                stats: ExecutorStats {
+                    workers: 2,
+                    experiments: 32,
+                    memo_hits: 5,
+                    ..ExecutorStats::default()
+                },
             },
             Message::Cancelled { job: 2 },
             Message::Error {
                 message: "no such job".into(),
             },
             Message::ShuttingDown,
+            Message::Telemetry {
+                snapshot: sample_snapshot(),
+            },
         ]
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let reg = sofi_telemetry::Registry::enabled();
+        reg.counter(sofi_telemetry::names::EXPERIMENTS).add(32);
+        reg.gauge(sofi_telemetry::names::QUEUE_DEPTH).set(1);
+        let h = reg.histogram(sofi_telemetry::names::FAULTED_RUN_CYCLES);
+        for v in [0, 3, 250, 4096] {
+            h.record(v);
+        }
+        reg.snapshot()
     }
 
     #[test]
@@ -521,6 +580,15 @@ mod tests {
         assert_eq!(
             Message::decode_frame(&bad),
             Err(ProtocolError::BadVersion(99))
+        );
+
+        // A frame from a v1 peer (pre-telemetry build) is a typed
+        // version error, never a misdecode or panic.
+        let mut v1 = frame.clone();
+        v1[4..6].copy_from_slice(&1u16.to_le_bytes());
+        assert_eq!(
+            Message::decode_frame(&v1),
+            Err(ProtocolError::BadVersion(1))
         );
 
         // An intact frame whose kind is simply unknown.

@@ -20,6 +20,7 @@ use crate::job::{JobSpec, JobState, JobStatus};
 use crate::journal::{self, Journal, Record};
 use sofi_campaign::{resume, Campaign, CampaignResult, ExecutorStats, ExperimentResult};
 use sofi_isa::assemble_text;
+use sofi_telemetry::{names, Registry, Snapshot};
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::io;
 use std::path::Path;
@@ -107,9 +108,31 @@ struct JobEntry {
     results: Vec<ExperimentResult>,
     outcome: Option<(CampaignResult, ExecutorStats)>,
     error: String,
+    /// Executor counters merged from every batch committed so far —
+    /// the live figures behind mid-run status queries.
+    stats: ExecutorStats,
+    /// Per-job telemetry registry, always enabled: the campaign records
+    /// its spans and histograms here regardless of the spec's
+    /// `telemetry` flag, so `Stats` queries work for every job.
+    telemetry: Registry,
 }
 
 impl JobEntry {
+    fn new(spec: JobSpec, state: JobState, results: Vec<ExperimentResult>) -> JobEntry {
+        JobEntry {
+            spec,
+            state,
+            cancel: false,
+            done: results.len() as u64,
+            total: 0,
+            results,
+            outcome: None,
+            error: String::new(),
+            stats: ExecutorStats::default(),
+            telemetry: Registry::enabled(),
+        }
+    }
+
     fn status(&self, id: u64) -> JobStatus {
         JobStatus {
             id,
@@ -119,6 +142,7 @@ impl JobEntry {
             done: self.done,
             total: self.total,
             error: self.error.clone(),
+            stats: self.stats,
         }
     }
 }
@@ -144,6 +168,21 @@ struct Inner {
     work_cv: Condvar,
     /// Wakes status watchers (progress, state transitions).
     watch_cv: Condvar,
+    /// Daemon-wide telemetry: job lifecycle counters, queue-depth gauge,
+    /// journal fsync latencies. Per-job registries live in [`JobEntry`].
+    telemetry: Registry,
+}
+
+impl Inner {
+    /// Journals one record, timing the write+fsync into the
+    /// `serve.journal_fsync_ns` histogram. Call with the state lock held
+    /// (the journal lives inside it).
+    fn append_timed(&self, st: &mut SchedState, record: &Record) -> io::Result<()> {
+        let span = self.telemetry.span(names::JOURNAL_FSYNC_NS);
+        let result = st.journal.append(record);
+        span.finish();
+        result
+    }
 }
 
 /// The campaign scheduler: owns the journal, the job table and the
@@ -171,27 +210,18 @@ impl Scheduler {
         for job in recovered {
             next_id = next_id.max(job.job + 1);
             let interrupted = job.end.is_none();
-            jobs.insert(
-                job.job,
-                JobEntry {
-                    spec: job.spec,
-                    state: if interrupted {
-                        JobState::Queued
-                    } else {
-                        job.end.unwrap()
-                    },
-                    cancel: false,
-                    done: job.results.len() as u64,
-                    total: 0,
-                    results: job.results,
-                    outcome: None,
-                    error: String::new(),
-                },
-            );
+            let state = if interrupted {
+                JobState::Queued
+            } else {
+                job.end.unwrap()
+            };
+            jobs.insert(job.job, JobEntry::new(job.spec, state, job.results));
             if interrupted {
                 queue.push_back(job.job);
             }
         }
+        let telemetry = Registry::enabled();
+        telemetry.gauge(names::QUEUE_DEPTH).set(queue.len() as u64);
         let inner = Arc::new(Inner {
             config: config.clone(),
             state: Mutex::new(SchedState {
@@ -205,6 +235,7 @@ impl Scheduler {
             }),
             work_cv: Condvar::new(),
             watch_cv: Condvar::new(),
+            telemetry,
         });
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -239,12 +270,15 @@ impl Scheduler {
         let id = st.next_id;
         // Commit the start record first: a job the client saw accepted
         // survives a crash.
-        if st
-            .journal
-            .append(&Record::JobStart {
-                job: id,
-                spec: spec.clone(),
-            })
+        if self
+            .inner
+            .append_timed(
+                &mut st,
+                &Record::JobStart {
+                    job: id,
+                    spec: spec.clone(),
+                },
+            )
             .is_err()
         {
             return SubmitOutcome::Busy {
@@ -253,20 +287,14 @@ impl Scheduler {
             };
         }
         st.next_id += 1;
-        st.jobs.insert(
-            id,
-            JobEntry {
-                spec,
-                state: JobState::Queued,
-                cancel: false,
-                done: 0,
-                total: 0,
-                results: Vec::new(),
-                outcome: None,
-                error: String::new(),
-            },
-        );
+        st.jobs
+            .insert(id, JobEntry::new(spec, JobState::Queued, Vec::new()));
         st.queue.push_back(id);
+        self.inner.telemetry.counter(names::JOBS_SUBMITTED).incr();
+        self.inner
+            .telemetry
+            .gauge(names::QUEUE_DEPTH)
+            .set(st.queue.len() as u64);
         drop(st);
         self.inner.work_cv.notify_one();
         SubmitOutcome::Accepted(id)
@@ -297,11 +325,19 @@ impl Scheduler {
             job.state = JobState::Cancelled;
             st.queue.retain(|&q| q != id);
             if !st.crashed {
-                let _ = st.journal.append(&Record::End {
-                    job: id,
-                    state: JobState::Cancelled,
-                });
+                let _ = self.inner.append_timed(
+                    &mut st,
+                    &Record::End {
+                        job: id,
+                        state: JobState::Cancelled,
+                    },
+                );
             }
+            self.inner.telemetry.counter(names::JOBS_FINISHED).incr();
+            self.inner
+                .telemetry
+                .gauge(names::QUEUE_DEPTH)
+                .set(st.queue.len() as u64);
             drop(st);
             self.inner.watch_cv.notify_all();
         }
@@ -319,6 +355,23 @@ impl Scheduler {
             .get(&id)?
             .outcome
             .clone()
+    }
+
+    /// A point-in-time telemetry snapshot: one job's registry, or (for
+    /// `None`) the daemon-wide registry merged with every job's.
+    /// Returns `None` only for an unknown job id.
+    pub fn telemetry_snapshot(&self, job: Option<u64>) -> Option<Snapshot> {
+        let st = self.inner.state.lock().unwrap();
+        match job {
+            Some(id) => st.jobs.get(&id).map(|j| j.telemetry.snapshot()),
+            None => {
+                let mut snap = self.inner.telemetry.snapshot();
+                for j in st.jobs.values() {
+                    snap.merge(&j.telemetry.snapshot());
+                }
+                Some(snap)
+            }
+        }
     }
 
     /// Blocks until `job` progresses past `last_done` committed
@@ -357,14 +410,24 @@ impl Scheduler {
         self.inner.state.lock().unwrap().crashed
     }
 
-    /// Graceful drain: stop accepting submissions, let queued and
-    /// running jobs finish, then join the worker pool.
-    pub fn drain(&self) {
+    /// Flips the drain flag: every later submission is refused with
+    /// [`SubmitOutcome::ShuttingDown`]. The cheap non-blocking first
+    /// half of [`Scheduler::drain`], called by the server *before* it
+    /// acknowledges a `Shutdown` request — otherwise a client that saw
+    /// the acknowledgement could race a submission in through the
+    /// window before the accept loop reaches the full drain.
+    pub fn begin_drain(&self) {
         {
             let mut st = self.inner.state.lock().unwrap();
             st.draining = true;
         }
         self.inner.work_cv.notify_all();
+    }
+
+    /// Graceful drain: stop accepting submissions, let queued and
+    /// running jobs finish, then join the worker pool.
+    pub fn drain(&self) {
+        self.begin_drain();
         let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
         for h in handles {
             let _ = h.join();
@@ -396,7 +459,7 @@ fn merge_stats(total: &mut ExecutorStats, batch: &ExecutorStats) {
 
 fn worker_loop(inner: &Inner) {
     loop {
-        let (id, spec, recovered_ids) = {
+        let (id, spec, recovered_ids, job_tel) = {
             let mut st = inner.state.lock().unwrap();
             loop {
                 if st.crashed {
@@ -404,11 +467,15 @@ fn worker_loop(inner: &Inner) {
                 }
                 if let Some(&id) = st.queue.front() {
                     st.queue.pop_front();
+                    inner
+                        .telemetry
+                        .gauge(names::QUEUE_DEPTH)
+                        .set(st.queue.len() as u64);
                     let job = st.jobs.get_mut(&id).expect("queued job exists");
                     job.state = JobState::Running;
                     let spec = job.spec.clone();
                     let ids: HashSet<u32> = job.results.iter().map(|r| r.experiment.id).collect();
-                    break (id, spec, ids);
+                    break (id, spec, ids, job.telemetry.clone());
                 }
                 if st.draining {
                     return;
@@ -417,7 +484,7 @@ fn worker_loop(inner: &Inner) {
             }
         };
         inner.watch_cv.notify_all();
-        run_job(inner, id, &spec, &recovered_ids);
+        run_job(inner, id, &spec, &recovered_ids, job_tel);
         inner.watch_cv.notify_all();
     }
 }
@@ -426,28 +493,36 @@ fn worker_loop(inner: &Inner) {
 fn fail_job(inner: &Inner, id: u64, message: String) {
     let mut st = inner.state.lock().unwrap();
     if !st.crashed {
-        let _ = st.journal.append(&Record::End {
-            job: id,
-            state: JobState::Failed,
-        });
+        let _ = inner.append_timed(
+            &mut st,
+            &Record::End {
+                job: id,
+                state: JobState::Failed,
+            },
+        );
     }
     if let Some(job) = st.jobs.get_mut(&id) {
         job.state = JobState::Failed;
         job.error = message;
     }
+    inner.telemetry.counter(names::JOBS_FINISHED).incr();
 }
 
-fn run_job(inner: &Inner, id: u64, spec: &JobSpec, recovered: &HashSet<u32>) {
+fn run_job(inner: &Inner, id: u64, spec: &JobSpec, recovered: &HashSet<u32>, job_tel: Registry) {
     let program = match assemble_text(&spec.name, &spec.source) {
         Ok(p) => p,
         Err(e) => return fail_job(inner, id, format!("assembly failed: {e}")),
     };
-    let campaign = match Campaign::with_config(&program, spec.config) {
+    let campaign = match Campaign::with_config_telemetry(&program, spec.config, job_tel) {
         Ok(c) => c,
         Err(e) => return fail_job(inner, id, format!("golden run failed: {e}")),
     };
     let plan = campaign.plan_for(spec.domain);
     let tail = resume::unfinished(&plan.experiments, recovered);
+    inner
+        .telemetry
+        .counter(names::EXPERIMENTS_RECOVERED)
+        .add(resume::recovered_count(&plan.experiments, recovered));
     {
         let mut st = inner.state.lock().unwrap();
         if let Some(job) = st.jobs.get_mut(&id) {
@@ -470,14 +545,18 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, recovered: &HashSet<u32>) {
         {
             let mut st = inner.state.lock().unwrap();
             if !st.crashed {
-                let _ = st.journal.append(&Record::End {
-                    job: id,
-                    state: JobState::Cancelled,
-                });
+                let _ = inner.append_timed(
+                    &mut st,
+                    &Record::End {
+                        job: id,
+                        state: JobState::Cancelled,
+                    },
+                );
             }
             if let Some(job) = st.jobs.get_mut(&id) {
                 job.state = JobState::Cancelled;
             }
+            inner.telemetry.counter(names::JOBS_FINISHED).incr();
             drop(st);
             inner.watch_cv.notify_all();
             return;
@@ -499,21 +578,25 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, recovered: &HashSet<u32>) {
                 return;
             }
         }
-        if st
-            .journal
-            .append(&Record::Batch {
-                job: id,
-                results: results.clone(),
-            })
+        if inner
+            .append_timed(
+                &mut st,
+                &Record::Batch {
+                    job: id,
+                    results: results.clone(),
+                },
+            )
             .is_err()
         {
             drop(st);
             return fail_job(inner, id, "journal write failed".into());
         }
         st.batch_commits += 1;
+        inner.telemetry.counter(names::BATCHES_COMMITTED).incr();
         if let Some(job) = st.jobs.get_mut(&id) {
             job.done += results.len() as u64;
             job.results.extend(results);
+            job.stats = stats;
         }
         drop(st);
         inner.watch_cv.notify_all();
@@ -531,11 +614,16 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, recovered: &HashSet<u32>) {
     let merged = job.results.clone();
     let result = campaign.assemble_result(spec.domain, plan, merged);
     job.outcome = Some((result, stats));
+    job.stats = stats;
     job.state = JobState::Done;
-    let _ = st.journal.append(&Record::End {
-        job: id,
-        state: JobState::Done,
-    });
+    let _ = inner.append_timed(
+        &mut st,
+        &Record::End {
+            job: id,
+            state: JobState::Done,
+        },
+    );
+    inner.telemetry.counter(names::JOBS_FINISHED).incr();
     drop(st);
     inner.watch_cv.notify_all();
 }

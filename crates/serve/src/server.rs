@@ -268,6 +268,15 @@ fn handle_connection(mut conn: Conn, sched: &Scheduler, shutdown: &AtomicBool, a
                 };
                 write_message(&mut conn, &reply).is_ok()
             }
+            Message::Stats { job } => {
+                let reply = match sched.telemetry_snapshot(job) {
+                    Some(snapshot) => Message::Telemetry { snapshot },
+                    None => Message::Error {
+                        message: format!("no such job {}", job.unwrap_or(0)),
+                    },
+                };
+                write_message(&mut conn, &reply).is_ok()
+            }
             Message::Cancel { job } => {
                 let reply = match sched.cancel(job) {
                     CancelOutcome::Cancelled => Message::Cancelled { job },
@@ -281,6 +290,10 @@ fn handle_connection(mut conn: Conn, sched: &Scheduler, shutdown: &AtomicBool, a
                 write_message(&mut conn, &reply).is_ok()
             }
             Message::Shutdown => {
+                // Refuse new submissions before the client hears the
+                // acknowledgement, so nothing it does afterwards can
+                // slip into the queue.
+                sched.begin_drain();
                 let _ = write_message(&mut conn, &Message::ShuttingDown);
                 request_shutdown(shutdown, addr);
                 false
@@ -342,6 +355,7 @@ fn handle_submit(conn: &mut Conn, sched: &Scheduler, spec: JobSpec, wait: bool) 
                 job,
                 done: update.status.done,
                 total: update.status.total,
+                stats: update.status.stats,
             },
         )
         .is_err()

@@ -12,6 +12,7 @@ use sofi_campaign::{CampaignResult, ExecutorStats, ExperimentResult, FaultDomain
 use sofi_isa::MemWidth;
 use sofi_machine::Trap;
 use sofi_space::{Experiment, FaultCoord, FaultSpace};
+use sofi_telemetry::{Bucket, HistogramSnapshot, Snapshot};
 use std::fmt;
 
 /// Decode failure: what went wrong and where in the buffer.
@@ -426,6 +427,111 @@ pub fn take_stats(r: &mut Reader<'_>) -> Result<ExecutorStats, WireError> {
     })
 }
 
+/// Minimum encoded size of a named counter/gauge entry (empty name).
+const METRIC_ENTRY_MIN_BYTES: usize = 4 + 8;
+/// Minimum encoded size of a named histogram (empty name, no buckets).
+const HISTOGRAM_MIN_BYTES: usize = 4 + 4 * 8 + 4;
+/// Encoded size of one histogram bucket.
+const BUCKET_BYTES: usize = 3 * 8;
+
+fn put_metric_entries(w: &mut Writer, entries: &[(String, u64)]) {
+    w.u32(entries.len() as u32);
+    for (name, value) in entries {
+        w.str(name);
+        w.u64(*value);
+    }
+}
+
+fn take_metric_entries(r: &mut Reader<'_>) -> Result<Vec<(String, u64)>, WireError> {
+    let n = r.seq_len(METRIC_ENTRY_MIN_BYTES)?;
+    let mut entries = Vec::with_capacity(n);
+    let mut prev: Option<String> = None;
+    for _ in 0..n {
+        let name = r.str()?;
+        if prev.as_deref() >= Some(name.as_str()) {
+            return Err(r.err(format!("metric names not strictly sorted at {name:?}")));
+        }
+        let value = r.u64()?;
+        prev = Some(name.clone());
+        entries.push((name, value));
+    }
+    Ok(entries)
+}
+
+/// Encodes a telemetry [`Snapshot`] (counters, gauges, histograms with
+/// their occupied buckets).
+pub fn put_snapshot(w: &mut Writer, s: &Snapshot) {
+    put_metric_entries(w, &s.counters);
+    put_metric_entries(w, &s.gauges);
+    w.u32(s.histograms.len() as u32);
+    for (name, h) in &s.histograms {
+        w.str(name);
+        w.u64(h.count);
+        w.u64(h.sum);
+        w.u64(h.min);
+        w.u64(h.max);
+        w.u32(h.buckets.len() as u32);
+        for b in &h.buckets {
+            w.u64(b.lo);
+            w.u64(b.hi);
+            w.u64(b.count);
+        }
+    }
+}
+
+/// Decodes a telemetry [`Snapshot`]. Name lists must be strictly sorted
+/// (the registry emits them that way and [`Snapshot::merge`] relies on
+/// it), and bucket lists strictly ascending by `lo`; anything else is a
+/// typed [`WireError`].
+pub fn take_snapshot(r: &mut Reader<'_>) -> Result<Snapshot, WireError> {
+    let counters = take_metric_entries(r)?;
+    let gauges = take_metric_entries(r)?;
+    let n = r.seq_len(HISTOGRAM_MIN_BYTES)?;
+    let mut histograms = Vec::with_capacity(n);
+    let mut prev: Option<String> = None;
+    for _ in 0..n {
+        let name = r.str()?;
+        if prev.as_deref() >= Some(name.as_str()) {
+            return Err(r.err(format!("histogram names not strictly sorted at {name:?}")));
+        }
+        prev = Some(name.clone());
+        let count = r.u64()?;
+        let sum = r.u64()?;
+        let min = r.u64()?;
+        let max = r.u64()?;
+        let buckets_len = r.seq_len(BUCKET_BYTES)?;
+        let mut buckets = Vec::with_capacity(buckets_len);
+        let mut prev_lo: Option<u64> = None;
+        for _ in 0..buckets_len {
+            let b = Bucket {
+                lo: r.u64()?,
+                hi: r.u64()?,
+                count: r.u64()?,
+            };
+            if b.hi < b.lo || prev_lo.is_some_and(|p| b.lo <= p) {
+                return Err(r.err(format!("histogram buckets not ascending at lo {}", b.lo)));
+            }
+            prev_lo = Some(b.lo);
+            buckets.push(b);
+        }
+        histograms.push((
+            name,
+            HistogramSnapshot {
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            },
+        ));
+    }
+    Ok(Snapshot {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -536,6 +642,96 @@ mod tests {
         assert!(take_domain(&mut Reader::new(&[3])).is_err());
         // Bool strictness.
         assert!(Reader::new(&[2]).bool().is_err());
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        // Build a snapshot through the real registry so the encoded form
+        // matches what the daemon actually emits.
+        let reg = sofi_telemetry::Registry::enabled();
+        reg.counter("serve.jobs_submitted").add(3);
+        reg.counter("executor.experiments").add(41);
+        reg.gauge("serve.queue_depth").set(2);
+        let h = reg.histogram("executor.faulted_run_cycles");
+        for v in [0, 1, 17, 900, u64::MAX] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+
+        let mut w = Writer::new();
+        put_snapshot(&mut w, &snap);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(take_snapshot(&mut r).unwrap(), snap);
+        r.expect_end().unwrap();
+
+        // The empty snapshot round-trips too.
+        let mut w = Writer::new();
+        put_snapshot(&mut w, &Snapshot::default());
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(take_snapshot(&mut r).unwrap(), Snapshot::default());
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_malformed_input() {
+        // Unsorted counter names.
+        let mut w = Writer::new();
+        w.u32(2);
+        w.str("b");
+        w.u64(1);
+        w.str("a");
+        w.u64(2);
+        w.u32(0);
+        w.u32(0);
+        let buf = w.finish();
+        let err = take_snapshot(&mut Reader::new(&buf)).unwrap_err();
+        assert!(err.message.contains("sorted"), "{}", err.message);
+
+        // Duplicate histogram names.
+        let mut w = Writer::new();
+        w.u32(0);
+        w.u32(0);
+        w.u32(2);
+        for _ in 0..2 {
+            w.str("dup");
+            w.u64(0);
+            w.u64(0);
+            w.u64(0);
+            w.u64(0);
+            w.u32(0);
+        }
+        let buf = w.finish();
+        assert!(take_snapshot(&mut Reader::new(&buf)).is_err());
+
+        // Buckets out of order.
+        let mut w = Writer::new();
+        w.u32(0);
+        w.u32(0);
+        w.u32(1);
+        w.str("h");
+        w.u64(2);
+        w.u64(10);
+        w.u64(4);
+        w.u64(6);
+        w.u32(2);
+        w.u64(6);
+        w.u64(7);
+        w.u64(1);
+        w.u64(4); // lo goes backwards
+        w.u64(5);
+        w.u64(1);
+        let buf = w.finish();
+        let err = take_snapshot(&mut Reader::new(&buf)).unwrap_err();
+        assert!(err.message.contains("ascending"), "{}", err.message);
+
+        // Absurd claimed lengths are caught by the sequence guard, not
+        // by allocation.
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let buf = w.finish();
+        assert!(take_snapshot(&mut Reader::new(&buf)).is_err());
     }
 
     #[test]

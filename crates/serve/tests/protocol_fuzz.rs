@@ -93,9 +93,43 @@ fn random_spec(rng: &mut DefaultRng) -> JobSpec {
             threads: rng.gen_range(0usize..9),
             convergence: rng.gen_bool(0.5),
             memoization: rng.gen_bool(0.5),
+            telemetry: rng.gen_bool(0.5),
             ..CampaignConfig::default()
         },
     }
+}
+
+fn random_stats(rng: &mut DefaultRng) -> ExecutorStats {
+    ExecutorStats {
+        workers: rng.gen_range(0usize..64),
+        experiments: rng.next_u64() >> 8,
+        pristine_cycles: rng.next_u64() >> 8,
+        faulted_cycles: rng.next_u64() >> 8,
+        converged_early: rng.next_u64() >> 8,
+        faulted_cycles_saved: rng.next_u64() >> 8,
+        memo_hits: rng.next_u64() >> 8,
+        memo_misses: rng.next_u64() >> 8,
+        memoized_cycles_saved: rng.next_u64() >> 8,
+    }
+}
+
+fn random_snapshot(rng: &mut DefaultRng) -> sofi_telemetry::Snapshot {
+    // Built through a real registry so names stay sorted and buckets
+    // ascending — the invariants the decoder enforces.
+    let reg = sofi_telemetry::Registry::enabled();
+    for _ in 0..rng.gen_range(0usize..5) {
+        reg.counter(&random_string(rng, 12)).add(rng.next_u64());
+    }
+    for _ in 0..rng.gen_range(0usize..3) {
+        reg.gauge(&random_string(rng, 12)).set(rng.next_u64());
+    }
+    for _ in 0..rng.gen_range(0usize..4) {
+        let h = reg.histogram(&random_string(rng, 12));
+        for _ in 0..rng.gen_range(0usize..20) {
+            h.record(rng.next_u64() >> rng.gen_range(0u32..64));
+        }
+    }
+    reg.snapshot()
 }
 
 fn random_status(rng: &mut DefaultRng) -> JobStatus {
@@ -116,11 +150,12 @@ fn random_status(rng: &mut DefaultRng) -> JobStatus {
         done: rng.gen_range(0u64..1 << 30),
         total: rng.gen_range(0u64..1 << 30),
         error: random_string(rng, 40),
+        stats: random_stats(rng),
     }
 }
 
 fn random_message(rng: &mut DefaultRng) -> Message {
-    match rng.gen_range(0u32..12) {
+    match rng.gen_range(0u32..14) {
         0 => Message::Submit {
             spec: random_spec(rng),
             wait: rng.gen_bool(0.5),
@@ -152,6 +187,7 @@ fn random_message(rng: &mut DefaultRng) -> Message {
             job: rng.next_u64(),
             done: rng.next_u64(),
             total: rng.next_u64(),
+            stats: random_stats(rng),
         },
         8 => Message::JobResult {
             job: rng.next_u64(),
@@ -163,23 +199,23 @@ fn random_message(rng: &mut DefaultRng) -> Message {
                 golden_cycles: rng.gen_range(1u64..1 << 40),
                 results: random_results(rng, 20),
             },
-            stats: ExecutorStats {
-                workers: rng.gen_range(0usize..64),
-                experiments: rng.next_u64() >> 8,
-                pristine_cycles: rng.next_u64() >> 8,
-                faulted_cycles: rng.next_u64() >> 8,
-                converged_early: rng.next_u64() >> 8,
-                faulted_cycles_saved: rng.next_u64() >> 8,
-                memo_hits: rng.next_u64() >> 8,
-                memo_misses: rng.next_u64() >> 8,
-                memoized_cycles_saved: rng.next_u64() >> 8,
-            },
+            stats: random_stats(rng),
         },
         9 => Message::Cancelled {
             job: rng.next_u64(),
         },
         10 => Message::Error {
             message: random_string(rng, 60),
+        },
+        11 => Message::Stats {
+            job: if rng.gen_bool(0.5) {
+                Some(rng.next_u64())
+            } else {
+                None
+            },
+        },
+        12 => Message::Telemetry {
+            snapshot: random_snapshot(rng),
         },
         _ => Message::ShuttingDown,
     }
@@ -320,7 +356,7 @@ fn random_byte_soup_never_panics() {
         // deeper decode paths are exercised, not just BadMagic.
         if rng.gen_bool(0.5) && buf.len() >= 6 {
             buf[..4].copy_from_slice(b"SOFI");
-            buf[4..6].copy_from_slice(&1u16.to_le_bytes());
+            buf[4..6].copy_from_slice(&sofi_serve::protocol::VERSION.to_le_bytes());
         }
         let _ = Message::decode_frame(&buf); // must return, never panic
     }

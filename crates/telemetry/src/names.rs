@@ -1,0 +1,62 @@
+//! Well-known metric names, shared by the executor, the daemon and the
+//! exporters so snapshots from different layers merge onto the same
+//! keys.
+//!
+//! The convention is `<layer>.<metric>[_<unit>]`; durations are always
+//! nanoseconds (`_ns`), simulation distances are cycles.
+
+/// Histogram: total cycles each faulted run actually simulated, from
+/// injection to classification (convergence and memoization shorten
+/// these).
+pub const FAULTED_RUN_CYCLES: &str = "executor.faulted_run_cycles";
+
+/// Histogram: cycles of pristine re-simulation needed to reach an
+/// injection point after restoring from the nearest checkpoint.
+pub const RESTORE_DISTANCE_CYCLES: &str = "executor.restore_distance_cycles";
+
+/// Histogram: wall-clock latency of one memo-cache probe.
+pub const MEMO_PROBE_NS: &str = "executor.memo_probe_ns";
+
+/// Histogram: wall-clock latency of one journal append, dominated by
+/// the per-record fsync.
+pub const JOURNAL_FSYNC_NS: &str = "serve.journal_fsync_ns";
+
+/// Span histogram: golden-run capture (trace + access masks).
+pub const SPAN_GOLDEN_RUN_NS: &str = "span.golden_run_ns";
+
+/// Span histogram: def/use analysis and plan pruning, both domains.
+pub const SPAN_DEFUSE_NS: &str = "span.defuse_pruning_ns";
+
+/// Span histogram: one worker shard's experiment loop.
+pub const SPAN_SHARD_NS: &str = "span.shard_exec_ns";
+
+/// Span histogram: merging worker stats and registries after join.
+pub const SPAN_MERGE_NS: &str = "span.merge_ns";
+
+/// Counter: experiments executed (mirrors `ExecutorStats::experiments`).
+pub const EXPERIMENTS: &str = "executor.experiments";
+
+/// Counter: faulted runs classified early at a convergence checkpoint.
+pub const CONVERGED_EARLY: &str = "executor.converged_early";
+
+/// Counter: memo-cache hits.
+pub const MEMO_HITS: &str = "executor.memo_hits";
+
+/// Counter: memo-cache misses.
+pub const MEMO_MISSES: &str = "executor.memo_misses";
+
+/// Counter: jobs submitted to the daemon (accepted only).
+pub const JOBS_SUBMITTED: &str = "serve.jobs_submitted";
+
+/// Counter: jobs that reached a terminal state.
+pub const JOBS_FINISHED: &str = "serve.jobs_finished";
+
+/// Counter: experiment batches committed to the journal.
+pub const BATCHES_COMMITTED: &str = "serve.batches_committed";
+
+/// Counter: experiments skipped on resume because the journal already
+/// covered them.
+pub const EXPERIMENTS_RECOVERED: &str = "serve.experiments_recovered";
+
+/// Gauge: jobs currently queued (peak across shards when merged).
+pub const QUEUE_DEPTH: &str = "serve.queue_depth";

@@ -1,0 +1,281 @@
+//! Point-in-time views of a registry, mergeable across shards.
+//!
+//! A [`Snapshot`] is plain data: sorted name→value lists that can be
+//! shipped over the `sofi-serve` wire protocol, exported as JSON by
+//! `sofi-report`, or merged with other snapshots. [`Snapshot::merge`]
+//! is associative and commutative (counters sum, gauges take the max,
+//! histograms add bucketwise), so daemon-wide totals do not depend on
+//! the order shard snapshots arrive in.
+
+/// One occupied histogram bucket: `count` observations in `lo..=hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bucket {
+    /// Smallest value mapped to this bucket.
+    pub lo: u64,
+    /// Largest value mapped to this bucket.
+    pub hi: u64,
+    /// Observations recorded into this bucket.
+    pub count: u64,
+}
+
+/// A histogram's state at snapshot time. Only occupied buckets are
+/// materialised; `min` is 0 while `count` is 0.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Wrapping sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Occupied buckets, ascending by `lo`.
+    pub buckets: Vec<Bucket>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the observations, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`) from the bucket grid:
+    /// the upper edge of the first bucket whose cumulative count
+    /// reaches `ceil(q * count)`, clamped to the observed `max`. Exact
+    /// for values below 16 (those buckets are exact); within one
+    /// bucket width (≤ 25% relative) above.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= rank {
+                return b.hi.min(self.max).max(b.lo.min(self.max));
+            }
+        }
+        self.max
+    }
+
+    /// Adds `other`'s observations into `self`. Associative and
+    /// commutative; empty histograms are identity elements.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        let mut merged: Vec<Bucket> = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) if x.lo == y.lo => {
+                    merged.push(Bucket {
+                        count: x.count + y.count,
+                        ..**x
+                    });
+                    a.next();
+                    b.next();
+                }
+                (Some(x), Some(y)) => {
+                    if x.lo < y.lo {
+                        merged.push(**x);
+                        a.next();
+                    } else {
+                        merged.push(**y);
+                        b.next();
+                    }
+                }
+                (Some(x), None) => {
+                    merged.push(**x);
+                    a.next();
+                }
+                (None, Some(y)) => {
+                    merged.push(**y);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+}
+
+/// A registry's full state at one instant. Lists are sorted by name
+/// (registries hand them out from ordered maps), which [`Snapshot::merge`]
+/// relies on.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Monotonic counters, by name.
+    pub counters: Vec<(String, u64)>,
+    /// Last-set gauges, by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Histograms, by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Merges two sorted name→value lists with `combine` on name collisions.
+fn merge_sorted<T: Clone>(
+    mine: &mut Vec<(String, T)>,
+    theirs: &[(String, T)],
+    mut combine: impl FnMut(&mut T, &T),
+) {
+    let mut merged: Vec<(String, T)> = Vec::with_capacity(mine.len() + theirs.len());
+    let (mut a, mut b) = (mine.drain(..).peekable(), theirs.iter().peekable());
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) if x.0 == y.0 => {
+                let mut entry = a.next().expect("peeked");
+                combine(&mut entry.1, &y.1);
+                merged.push(entry);
+                b.next();
+            }
+            (Some(x), Some(y)) => {
+                if x.0 < y.0 {
+                    merged.push(a.next().expect("peeked"));
+                } else {
+                    merged.push((*y).clone());
+                    b.next();
+                }
+            }
+            (Some(_), None) => merged.push(a.next().expect("peeked")),
+            (None, Some(_)) => {
+                merged.push(b.next().expect("peeked").clone());
+            }
+            (None, None) => break,
+        }
+    }
+    drop(a);
+    *mine = merged;
+}
+
+impl Snapshot {
+    /// True when nothing has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// A counter's value, or 0 when absent.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        lookup(&self.counters, name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value, or 0 when absent.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> u64 {
+        lookup(&self.gauges, name).copied().unwrap_or(0)
+    }
+
+    /// A histogram by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        lookup(&self.histograms, name)
+    }
+
+    /// Merges `other` into `self`: counters sum, gauges take the max,
+    /// histograms merge bucketwise. Associative and commutative, with
+    /// the empty snapshot as identity — shard totals are independent
+    /// of merge order and grouping (`tests/merge_laws.rs`).
+    pub fn merge(&mut self, other: &Snapshot) {
+        merge_sorted(&mut self.counters, &other.counters, |m, t| {
+            *m = m.wrapping_add(*t);
+        });
+        merge_sorted(&mut self.gauges, &other.gauges, |m, t| *m = (*m).max(*t));
+        merge_sorted(&mut self.histograms, &other.histograms, |m, t| m.merge(t));
+    }
+}
+
+fn lookup<'a, T>(list: &'a [(String, T)], name: &str) -> Option<&'a T> {
+    list.binary_search_by(|(n, _)| n.as_str().cmp(name))
+        .ok()
+        .map(|i| &list[i].1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(values: &[u64]) -> HistogramSnapshot {
+        let core = crate::histogram::HistogramCore::new();
+        for &v in values {
+            core.record(v);
+        }
+        core.snapshot()
+    }
+
+    #[test]
+    fn histogram_merge_equals_joint_recording() {
+        let mut a = hist(&[1, 5, 900]);
+        let b = hist(&[5, 32, 7_000_000]);
+        a.merge(&b);
+        assert_eq!(a, hist(&[1, 5, 900, 5, 32, 7_000_000]));
+    }
+
+    #[test]
+    fn quantiles_are_exact_for_small_values() {
+        let h = hist(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(h.quantile(0.1), 0);
+        assert_eq!(h.quantile(0.5), 4);
+        assert_eq!(h.quantile(1.0), 9);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_range() {
+        let h = hist(&[1_000]);
+        assert_eq!(h.quantile(0.0), 1_000);
+        assert_eq!(h.quantile(1.0), 1_000);
+        assert_eq!(hist(&[]).quantile(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_lookup_and_empties() {
+        let s = Snapshot::default();
+        assert!(s.is_empty());
+        assert_eq!(s.counter("nope"), 0);
+        assert_eq!(s.gauge("nope"), 0);
+        assert!(s.histogram("nope").is_none());
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_gauges() {
+        let mut a = Snapshot {
+            counters: vec![("a".into(), 1), ("b".into(), 2)],
+            gauges: vec![("g".into(), 5)],
+            histograms: vec![],
+        };
+        let b = Snapshot {
+            counters: vec![("b".into(), 40), ("c".into(), 7)],
+            gauges: vec![("g".into(), 3), ("h".into(), 9)],
+            histograms: vec![("x".into(), hist(&[4]))],
+        };
+        a.merge(&b);
+        assert_eq!(a.counter("a"), 1);
+        assert_eq!(a.counter("b"), 42);
+        assert_eq!(a.counter("c"), 7);
+        assert_eq!(a.gauge("g"), 5);
+        assert_eq!(a.gauge("h"), 9);
+        assert_eq!(a.histogram("x").unwrap().count, 1);
+        // Output stays sorted so later merges keep working.
+        assert!(a.counters.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

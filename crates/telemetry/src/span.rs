@@ -1,0 +1,43 @@
+//! Scoped phase timing.
+
+use crate::registry::Histogram;
+use std::time::Instant;
+
+/// Times a scope and records the elapsed nanoseconds into a histogram
+/// when dropped. Obtained from [`crate::Registry::span`]; on a disabled
+/// registry the span holds no clock and drop does nothing.
+#[derive(Debug)]
+#[must_use = "a span measures until it is dropped; binding it to _ ends it immediately"]
+pub struct Span {
+    start: Option<Instant>,
+    hist: Histogram,
+}
+
+impl Span {
+    pub(crate) fn started(hist: Histogram, start: Instant) -> Span {
+        Span {
+            start: Some(start),
+            hist,
+        }
+    }
+
+    pub(crate) fn noop() -> Span {
+        Span {
+            start: None,
+            hist: Histogram::default(),
+        }
+    }
+
+    /// Ends the span now (equivalent to dropping it, but reads as
+    /// intent at call sites).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.hist.record(nanos);
+        }
+    }
+}

@@ -69,8 +69,12 @@ fn loopback_results_bit_identical_for_both_domains() {
     for domain in [FaultDomain::Memory, FaultDomain::RegisterFile] {
         let mut client = Client::connect(&addr).unwrap();
         let mut progress = Vec::new();
+        let mut live_experiments = Vec::new();
         let (job, result, stats) = client
-            .submit_wait(spec(domain), |done, total| progress.push((done, total)))
+            .submit_wait(spec(domain), |done, total, live| {
+                progress.push((done, total));
+                live_experiments.push(live.experiments);
+            })
             .unwrap();
         assert!(job > 0);
 
@@ -93,6 +97,14 @@ fn loopback_results_bit_identical_for_both_domains() {
         );
         assert!(progress.iter().skip(1).all(|&(_, t)| t == total));
         assert_eq!(progress.last().unwrap().0, total);
+
+        // Progress frames carry live executor stats: the per-batch merge
+        // is monotone and ends at the final job-wide experiment count.
+        assert!(
+            live_experiments.windows(2).all(|w| w[0] <= w[1]),
+            "{live_experiments:?}"
+        );
+        assert_eq!(*live_experiments.last().unwrap(), stats.experiments);
     }
 
     // Status over the wire: both jobs terminal and fully covered.
@@ -127,7 +139,7 @@ fn unix_socket_transport_works() {
 
     let mut client = Client::connect(&addr).unwrap();
     let (_, result, _) = client
-        .submit_wait(spec(FaultDomain::Memory), |_, _| {})
+        .submit_wait(spec(FaultDomain::Memory), |_, _, _| {})
         .unwrap();
     assert_eq!(result, in_process(FaultDomain::Memory));
 
