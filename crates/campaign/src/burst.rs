@@ -122,10 +122,10 @@ impl Campaign {
                 result.by_kind[Outcome::NoEffect.kind_index()] += 1;
                 continue;
             }
-            if pristine.cycle() > coord.cycle - 1 {
+            if pristine.cycle() > coord.pre_injection_cycle() {
                 pristine = self.fork_pristine();
             }
-            let early = pristine.run_to(coord.cycle - 1);
+            let early = pristine.run_to(coord.pre_injection_cycle());
             assert!(early.is_none(), "draw outlived the program");
             let mut m = pristine.clone();
             for d in 0..width as u64 {

@@ -85,8 +85,9 @@ impl CampaignConfig {
     /// journal serialization (`sofi-serve` job specs). [`CampaignConfig::unpack`]
     /// is the exact inverse; the field order is part of the `sofi-serve`
     /// protocol version, so append new fields rather than reordering
-    /// (`telemetry` was appended for protocol version 2).
-    pub fn pack(&self) -> [u64; 7] {
+    /// (`telemetry` was appended for protocol version 2,
+    /// `machine.block_engine` for version 3).
+    pub fn pack(&self) -> [u64; 8] {
         [
             self.threads as u64,
             self.timeout_factor,
@@ -95,11 +96,12 @@ impl CampaignConfig {
             u64::from(self.memoization),
             self.machine.serial_limit as u64,
             u64::from(self.telemetry),
+            u64::from(self.machine.block_engine),
         ]
     }
 
     /// Rebuilds a configuration from [`CampaignConfig::pack`]ed words.
-    pub fn unpack(words: [u64; 7]) -> CampaignConfig {
+    pub fn unpack(words: [u64; 8]) -> CampaignConfig {
         CampaignConfig {
             threads: words[0] as usize,
             timeout_factor: words[1],
@@ -109,6 +111,7 @@ impl CampaignConfig {
             telemetry: words[6] != 0,
             machine: MachineConfig {
                 serial_limit: words[5] as usize,
+                block_engine: words[7] != 0,
             },
         }
     }
@@ -148,7 +151,10 @@ mod tests {
                 convergence: false,
                 memoization: false,
                 telemetry: true,
-                machine: MachineConfig { serial_limit: 42 },
+                machine: MachineConfig {
+                    serial_limit: 42,
+                    block_engine: false,
+                },
             },
         ];
         for c in configs {

@@ -4,7 +4,7 @@ use crate::config::CampaignConfig;
 use crate::outcome::Outcome;
 use crate::result::{CampaignResult, ExperimentResult, FaultDomain};
 use sofi_isa::Program;
-use sofi_machine::{AccessKind, ConvergenceMask, ExternalEvent, Machine, StateDigest};
+use sofi_machine::{AccessKind, BlockStats, ConvergenceMask, ExternalEvent, Machine, StateDigest};
 use sofi_space::{DefUseAnalysis, Experiment, InjectionPlan};
 use sofi_telemetry::{names, LocalHistogram, Registry};
 use sofi_trace::{GoldenError, GoldenRun};
@@ -192,12 +192,14 @@ struct WorkerTel {
     faulted_run_cycles: LocalHistogram,
     restore_distance: LocalHistogram,
     memo_probe_ns: LocalHistogram,
+    dispatch_ns: LocalHistogram,
     probe_tick: Cell<u64>,
+    dispatch_tick: Cell<u64>,
 }
 
-/// One memo probe in this many is timed into
-/// [`names::MEMO_PROBE_NS`] (the first probe always is, so short
-/// campaigns still populate the histogram).
+/// One memo probe (and one faulted-run dispatch) in this many is timed
+/// into [`names::MEMO_PROBE_NS`] ([`names::DISPATCH_NS`]); the first is
+/// always timed, so short campaigns still populate the histograms.
 const PROBE_SAMPLE: u64 = 64;
 
 impl WorkerTel {
@@ -209,8 +211,29 @@ impl WorkerTel {
                 registry.histogram(names::RESTORE_DISTANCE_CYCLES),
             ),
             memo_probe_ns: LocalHistogram::new(registry.histogram(names::MEMO_PROBE_NS)),
+            dispatch_ns: LocalHistogram::new(registry.histogram(names::DISPATCH_NS)),
             probe_tick: Cell::new(0),
+            dispatch_tick: Cell::new(0),
         }
+    }
+
+    /// Runs one faulted-run dispatch, latency-sampled (1 in
+    /// [`PROBE_SAMPLE`]) into [`names::DISPATCH_NS`] when telemetry is
+    /// enabled — the per-experiment wall-clock the `+blocks` ablation
+    /// drives down.
+    fn timed_dispatch(&self, f: impl FnOnce() -> Outcome) -> Outcome {
+        if self.dispatch_ns.is_enabled() {
+            let tick = self.dispatch_tick.get();
+            self.dispatch_tick.set(tick + 1);
+            if tick.is_multiple_of(PROBE_SAMPLE) {
+                let start = Instant::now();
+                let outcome = f();
+                self.dispatch_ns
+                    .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                return outcome;
+            }
+        }
+        f()
     }
 
     /// A memo-cache lookup, latency-sampled when telemetry is enabled.
@@ -231,11 +254,13 @@ impl WorkerTel {
 
     /// Drains the histogram buffers and mirrors the worker's final
     /// counters into the registry — once per shard, off the
-    /// per-experiment path.
-    fn flush(&self, stats: &ExecutorStats) {
+    /// per-experiment path. `blocks` carries the execution-engine
+    /// dispatch counters accumulated across this worker's faulted runs.
+    fn flush(&self, stats: &ExecutorStats, blocks: &BlockStats) {
         self.faulted_run_cycles.flush();
         self.restore_distance.flush();
         self.memo_probe_ns.flush();
+        self.dispatch_ns.flush();
         if !self.registry.is_enabled() {
             return;
         }
@@ -249,6 +274,15 @@ impl WorkerTel {
         self.registry
             .counter(names::MEMO_MISSES)
             .add(stats.memo_misses);
+        self.registry
+            .counter(names::BLOCK_CYCLES)
+            .add(blocks.block_cycles);
+        self.registry
+            .counter(names::STEP_CYCLES)
+            .add(blocks.step_cycles);
+        self.registry
+            .counter(names::BLOCKS_EXECUTED)
+            .add(blocks.blocks);
     }
 }
 
@@ -581,7 +615,7 @@ impl Campaign {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
-                    let start = self.machine_at(checkpoints, chunk[0].coord.cycle - 1);
+                    let start = self.machine_at(checkpoints, chunk[0].coord.pre_injection_cycle());
                     // Each worker records into a forked child registry;
                     // the parent absorbs them after join. Absorption is
                     // associative and commutative (sofi-telemetry's
@@ -774,7 +808,7 @@ impl Campaign {
             .map(|&e| {
                 let mut m =
                     Machine::with_events(&self.program, self.config.machine, self.events.clone());
-                let early = m.run_to(e.coord.cycle - 1);
+                let early = m.run_to(e.coord.pre_injection_cycle());
                 assert!(early.is_none(), "plan outlived the program");
                 match domain {
                     FaultDomain::Memory => m.flip_bit(e.coord.bit),
@@ -807,12 +841,13 @@ impl Campaign {
             ..ExecutorStats::default()
         };
         let mut out = Vec::new();
+        let mut block_totals = BlockStats::default();
         // The worker's start machine always comes from a checkpoint
         // restore (or a fresh machine), so the first advance is a
         // restore distance too.
         let mut restored = true;
         for e in experiments {
-            let pre_cycle = e.coord.cycle - 1;
+            let pre_cycle = e.coord.pre_injection_cycle();
             if pristine.cycle() > pre_cycle {
                 // Out-of-order experiment: resume from the nearest
                 // checkpoint at or before the injection point (a fresh
@@ -843,14 +878,17 @@ impl Campaign {
                 FaultDomain::Memory => m.flip_bit(e.coord.bit),
                 FaultDomain::RegisterFile => m.flip_reg_bit(e.coord.bit),
             }
-            let outcome = self.run_faulted(&mut m, checkpoints, &mut stats, tel);
+            let base = m.block_stats();
+            let outcome =
+                tel.timed_dispatch(|| self.run_faulted(&mut m, checkpoints, &mut stats, tel));
+            block_totals.absorb(m.block_stats().delta_since(base));
             stats.experiments += 1;
             out.push(ExperimentResult {
                 experiment: e,
                 outcome,
             });
         }
-        tel.flush(&stats);
+        tel.flush(&stats, &block_totals);
         shard_span.finish();
         (out, stats)
     }
@@ -1469,6 +1507,36 @@ mod tests {
             result.results.iter().map(|r| r.outcome).collect::<Vec<_>>()
         );
         assert!(stats.converged_early > 0, "no early termination happened");
+    }
+
+    #[test]
+    fn cycle_zero_coordinate_is_flip_before_first_instruction() {
+        // Regression: the pre-injection advance used to compute
+        // `coord.cycle - 1`, which underflows u64 for a raw cycle-0
+        // coordinate (e.g. from a remote client) and sent `run_to` off
+        // toward 2⁶⁴ cycles. A cycle-0 flip must instead behave exactly
+        // like the cycle-1 coordinate: applied before the first
+        // instruction executes.
+        let p = hi_program();
+        let c = Campaign::with_config(&p, CampaignConfig::sequential()).unwrap();
+        let bit = c.plan().experiments[0].coord.bit;
+        let experiments: Vec<Experiment> = [0u64, 1u64]
+            .iter()
+            .map(|&cycle| Experiment {
+                id: cycle as u32,
+                coord: sofi_space::FaultCoord { cycle, bit },
+                weight: 1,
+            })
+            .collect();
+        for domain in [FaultDomain::Memory, FaultDomain::RegisterFile] {
+            let naive = c.run_experiments_naive(domain, &experiments);
+            let (composed, _) = c.run_experiments_stats(domain, &experiments);
+            assert_eq!(composed, naive, "{domain:?}: executor paths disagree");
+            assert_eq!(
+                naive[0].outcome, naive[1].outcome,
+                "{domain:?}: cycle-0 must classify like cycle-1"
+            );
+        }
     }
 
     #[test]

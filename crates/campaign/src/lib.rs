@@ -65,3 +65,8 @@ pub use executor::{Campaign, ExecutorStats};
 pub use outcome::{Outcome, OutcomeClass, ABORT_CODE};
 pub use result::{CampaignResult, ExperimentResult, FaultDomain};
 pub use sampling::{SampledOutcome, SampledResult, SamplingMode};
+/// Metric names recorded by the executor into [`Campaign::telemetry`],
+/// re-exported so downstream consumers (CLI, benches) can look counters
+/// up in a [`sofi_telemetry::Snapshot`] without a direct telemetry
+/// dependency.
+pub use sofi_telemetry::names as telemetry_names;

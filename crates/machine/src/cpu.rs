@@ -1,6 +1,7 @@
 //! The CPU core: in-order, one instruction per cycle.
 
-use crate::observer::{AccessKind, MemAccess, MemObserver, NullObserver};
+use crate::block::{branch_taken, BlockStats, BlockTable, Uop};
+use crate::observer::{AccessKind, MemAccess, MemObserver, NullObserver, RegAccess};
 use crate::ram::Ram;
 use crate::status::{RunStatus, StepResult};
 use crate::trap::Trap;
@@ -32,12 +33,19 @@ pub struct MachineConfig {
     /// Maximum bytes the serial device accepts before trapping. Faulted runs
     /// can get stuck in output loops; this bound keeps experiments finite.
     pub serial_limit: usize,
+    /// Execute through the decode-once µop engine (the default). `false`
+    /// forces pure single-stepping through [`Machine::step_observed`] —
+    /// the reference interpreter the block-engine oracle and the
+    /// `+blocks` ablation bench compare against. Results are bit-identical
+    /// either way (`tests/block_engine_oracle.rs`).
+    pub block_engine: bool,
 }
 
 impl Default for MachineConfig {
     fn default() -> Self {
         MachineConfig {
             serial_limit: 64 * 1024,
+            block_engine: true,
         }
     }
 }
@@ -78,6 +86,12 @@ pub struct Machine {
     input_latch: u32,
     state: State,
     config: MachineConfig,
+    /// Decode-once µop table for `rom` (see [`crate::block`]); shared by
+    /// clones, never invalidated (the ROM is immutable).
+    blocks: Arc<BlockTable>,
+    /// Engine dispatch counters (diagnostics/telemetry only; cloned with
+    /// the machine, excluded from digests and convergence comparison).
+    block_stats: BlockStats,
 }
 
 impl Machine {
@@ -106,12 +120,14 @@ impl Machine {
             events.windows(2).all(|w| w[0].cycle <= w[1].cycle),
             "external events must be sorted by cycle"
         );
+        let rom: Arc<[Inst]> = program.insts.clone().into();
+        let blocks = Arc::new(BlockTable::decode(&rom));
         Machine {
             regs: [0; 16],
             pc: 0,
             cycle: 0,
             ram: Ram::with_image(program.ram_size, &program.data),
-            rom: program.insts.clone().into(),
+            rom,
             serial: Vec::new(),
             detect_count: 0,
             events: events.into(),
@@ -119,6 +135,8 @@ impl Machine {
             input_latch: 0,
             state: State::Running,
             config,
+            blocks,
+            block_stats: BlockStats::default(),
         }
     }
 
@@ -445,15 +463,9 @@ impl Machine {
 
     /// Runs with a [`MemObserver`] attached (golden-run tracing).
     pub fn run_observed<O: MemObserver>(&mut self, cycle_limit: u64, obs: &mut O) -> RunStatus {
-        loop {
-            if self.cycle >= cycle_limit {
-                return RunStatus::CycleLimit;
-            }
-            match self.step_observed(obs) {
-                StepResult::Running => {}
-                StepResult::Halted { code } => return RunStatus::Halted { code },
-                StepResult::Trapped(t) => return RunStatus::Trapped(t),
-            }
+        match self.run_blocks_to(cycle_limit, obs) {
+            Some(status) => status,
+            None => RunStatus::CycleLimit,
         }
     }
 
@@ -461,14 +473,308 @@ impl Machine {
     /// executed (used to pause before an injection). Returns the status if
     /// the program stopped earlier.
     pub fn run_to(&mut self, cycle: u64) -> Option<RunStatus> {
+        self.run_blocks_to(cycle, &mut NullObserver)
+    }
+
+    /// The unified observed run loop every entry point ([`Machine::run`],
+    /// [`Machine::run_to`], [`Machine::run_observed`]) delegates to:
+    /// advances until exactly `cycle` instructions have executed,
+    /// reporting accesses to `obs`, and returns the final status if the
+    /// machine stopped earlier (`None` when the bound was reached while
+    /// still running).
+    ///
+    /// When [`MachineConfig::block_engine`] is on (the default),
+    /// instructions retire through the decode-once µop engine
+    /// ([`crate::block`]): each dispatch executes a burst of pre-decoded
+    /// µops with the run-state check, the external-event scan, and the
+    /// observer's register-event bookkeeping hoisted out of the inner
+    /// loop. Every cycle-exact boundary is enforced by capping the burst
+    /// budget: the `cycle` bound itself (injection points, checkpoint
+    /// and convergence probes, cycle limits) and external-event latch
+    /// cycles, which fall back to [`Machine::step_observed`] for the
+    /// latching instruction. Behaviour is bit-identical to pure
+    /// single-stepping (`block_engine: false`) — the block-engine oracle
+    /// and fuzz batteries hold both paths to identical architectural
+    /// state at every boundary.
+    pub fn run_blocks_to<O: MemObserver>(&mut self, cycle: u64, obs: &mut O) -> Option<RunStatus> {
         while self.cycle < cycle {
-            match self.step() {
+            match self.state {
+                State::Halted { code } => return Some(RunStatus::Halted { code }),
+                State::Trapped(t) => return Some(RunStatus::Trapped(t)),
+                State::Running => {}
+            }
+            if self.config.block_engine {
+                let mut budget = cycle - self.cycle;
+                if let Some(ev) = self.events.get(self.next_event) {
+                    // µops in this burst retire in cycles
+                    // `self.cycle + 1 ..= self.cycle + budget`; none may
+                    // reach the next event's latch cycle (overdue events
+                    // latch on the next stepped instruction).
+                    let latch = ev.cycle.max(self.cycle + 1);
+                    budget = budget.min(latch - 1 - self.cycle);
+                }
+                if budget > 0 {
+                    if let Some(status) = self.exec_uops(budget, obs) {
+                        return Some(status);
+                    }
+                    continue;
+                }
+            }
+            let before = self.cycle;
+            let result = self.step_observed(obs);
+            self.block_stats.step_cycles += self.cycle - before;
+            match result {
                 StepResult::Running => {}
                 StepResult::Halted { code } => return Some(RunStatus::Halted { code }),
                 StepResult::Trapped(t) => return Some(RunStatus::Trapped(t)),
             }
         }
         None
+    }
+
+    /// Engine dispatch counters accumulated by the
+    /// [`Machine::run_blocks_to`] family since construction (or since the
+    /// state this machine was cloned from). Campaign workers snapshot and
+    /// diff these around each faulted run.
+    pub fn block_stats(&self) -> BlockStats {
+        self.block_stats
+    }
+
+    /// Number of basic blocks (maximal straight-line instruction runs)
+    /// the decode pass found in this machine's ROM — a static property
+    /// of the program, useful for sizing expectations against the
+    /// dynamic [`BlockStats::blocks`] counter.
+    pub fn rom_block_count(&self) -> usize {
+        self.blocks.block_count()
+    }
+
+    /// The tight pre-decoded µop loop: executes up to `budget` µops from
+    /// the current program counter, following control flow through the
+    /// PC-aligned table, and stops early only on halt or trap (returning
+    /// the status; `None` means the budget was exhausted while running).
+    ///
+    /// Preconditions (enforced by [`Machine::run_blocks_to`]): the
+    /// machine is running, `budget ≥ 1`, and no external event latches
+    /// within the burst's cycle window — which is exactly what lets the
+    /// loop skip the per-instruction state and event checks the step
+    /// interpreter pays.
+    fn exec_uops<O: MemObserver>(&mut self, budget: u64, obs: &mut O) -> Option<RunStatus> {
+        debug_assert!(matches!(self.state, State::Running) && budget >= 1);
+        let table = Arc::clone(&self.blocks);
+        let uops = &table.uops[..];
+        let rom_len = uops.len() as u32;
+        let mut pc = self.pc;
+        let mut cycle = self.cycle;
+        let stop = cycle + budget;
+        let start_cycle = cycle;
+        let mut blocks = 1u64;
+        let mut result = None;
+
+        // Register-file access with the `< 16` operand invariant made
+        // visible to the compiler (no bounds check in the hot loop).
+        macro_rules! r {
+            ($i:expr) => {
+                self.regs[($i & 15) as usize]
+            };
+        }
+
+        'burst: while cycle < stop {
+            if pc >= rom_len {
+                // Falling off the ROM end: clean halt, no cycle consumed
+                // (same as the step interpreter).
+                self.state = State::Halted { code: 0 };
+                result = Some(RunStatus::Halted { code: 0 });
+                break 'burst;
+            }
+            let u = uops[pc as usize];
+            cycle += 1;
+            if O::OBSERVES {
+                for reg in table.events[pc as usize].reads.iter().flatten() {
+                    obs.on_reg_access(RegAccess {
+                        cycle,
+                        reg: *reg,
+                        kind: AccessKind::Read,
+                    });
+                }
+            }
+            macro_rules! trap {
+                ($t:expr) => {{
+                    let t = $t;
+                    self.state = State::Trapped(t);
+                    result = Some(RunStatus::Trapped(t));
+                    break 'burst;
+                }};
+            }
+            let mut next_pc = pc + 1;
+            match u {
+                Uop::Nop => {}
+                Uop::Add { rd, rs1, rs2 } => r!(rd) = r!(rs1).wrapping_add(r!(rs2)),
+                Uop::Sub { rd, rs1, rs2 } => r!(rd) = r!(rs1).wrapping_sub(r!(rs2)),
+                Uop::And { rd, rs1, rs2 } => r!(rd) = r!(rs1) & r!(rs2),
+                Uop::Or { rd, rs1, rs2 } => r!(rd) = r!(rs1) | r!(rs2),
+                Uop::Xor { rd, rs1, rs2 } => r!(rd) = r!(rs1) ^ r!(rs2),
+                Uop::Sll { rd, rs1, rs2 } => r!(rd) = r!(rs1) << (r!(rs2) & 31),
+                Uop::Srl { rd, rs1, rs2 } => r!(rd) = r!(rs1) >> (r!(rs2) & 31),
+                Uop::Sra { rd, rs1, rs2 } => {
+                    r!(rd) = ((r!(rs1) as i32) >> (r!(rs2) & 31)) as u32;
+                }
+                Uop::Slt { rd, rs1, rs2 } => {
+                    r!(rd) = ((r!(rs1) as i32) < (r!(rs2) as i32)) as u32;
+                }
+                Uop::Sltu { rd, rs1, rs2 } => r!(rd) = (r!(rs1) < r!(rs2)) as u32,
+                Uop::Mul { rd, rs1, rs2 } => r!(rd) = r!(rs1).wrapping_mul(r!(rs2)),
+                Uop::Addi { rd, rs1, imm } => r!(rd) = r!(rs1).wrapping_add(imm),
+                Uop::Andi { rd, rs1, imm } => r!(rd) = r!(rs1) & imm,
+                Uop::Ori { rd, rs1, imm } => r!(rd) = r!(rs1) | imm,
+                Uop::Xori { rd, rs1, imm } => r!(rd) = r!(rs1) ^ imm,
+                Uop::Slti { rd, rs1, imm } => {
+                    r!(rd) = ((r!(rs1) as i32) < (imm as i32)) as u32;
+                }
+                Uop::Slli { rd, rs1, sh } => r!(rd) = r!(rs1) << sh,
+                Uop::Srli { rd, rs1, sh } => r!(rd) = r!(rs1) >> sh,
+                Uop::Srai { rd, rs1, sh } => r!(rd) = ((r!(rs1) as i32) >> sh) as u32,
+                Uop::LoadImm { rd, value } => r!(rd) = value,
+                Uop::Load {
+                    rd,
+                    base,
+                    off,
+                    width,
+                    signed,
+                } => {
+                    let addr = r!(base).wrapping_add(off);
+                    if addr >= MMIO_BASE {
+                        match addr {
+                            MMIO_CYCLE => {
+                                if rd != 0 {
+                                    r!(rd) = (cycle as u32).wrapping_sub(1);
+                                }
+                            }
+                            MMIO_INPUT => {
+                                if rd != 0 {
+                                    r!(rd) = self.input_latch;
+                                }
+                            }
+                            _ => trap!(Trap::MmioRead { addr }),
+                        }
+                    } else {
+                        let raw = match self.ram.read(addr, width) {
+                            Ok(v) => v,
+                            Err(t) => trap!(t),
+                        };
+                        obs.on_access(MemAccess {
+                            cycle,
+                            addr,
+                            width,
+                            kind: AccessKind::Read,
+                        });
+                        let v = if signed {
+                            match width {
+                                MemWidth::Byte => raw as u8 as i8 as i32 as u32,
+                                MemWidth::Half => raw as u16 as i16 as i32 as u32,
+                                MemWidth::Word => raw,
+                            }
+                        } else {
+                            raw
+                        };
+                        if rd != 0 {
+                            r!(rd) = v;
+                        }
+                    }
+                }
+                Uop::Store {
+                    rs,
+                    base,
+                    off,
+                    width,
+                } => {
+                    let addr = r!(base).wrapping_add(off);
+                    let value = r!(rs);
+                    if addr >= MMIO_BASE {
+                        match addr {
+                            MMIO_SERIAL => {
+                                if self.serial.len() >= self.config.serial_limit {
+                                    trap!(Trap::SerialOverflow);
+                                }
+                                self.serial.push(value as u8);
+                            }
+                            MMIO_DETECT => self.detect_count += 1,
+                            _ => trap!(Trap::OutOfRange { addr }),
+                        }
+                    } else {
+                        if let Err(t) = self.ram.write(addr, width, value) {
+                            trap!(t);
+                        }
+                        obs.on_access(MemAccess {
+                            cycle,
+                            addr,
+                            width,
+                            kind: AccessKind::Write,
+                        });
+                    }
+                }
+                Uop::Br {
+                    kind,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
+                    if branch_taken(kind, r!(rs1), r!(rs2)) {
+                        next_pc = target;
+                    }
+                    blocks += 1;
+                }
+                Uop::BrBad {
+                    kind,
+                    rs1,
+                    rs2,
+                    bad,
+                } => {
+                    if branch_taken(kind, r!(rs1), r!(rs2)) {
+                        trap!(Trap::BadJump { target: bad });
+                    }
+                    blocks += 1;
+                }
+                Uop::Jal { rd, target } => {
+                    if rd != 0 {
+                        r!(rd) = pc + 1;
+                    }
+                    next_pc = target;
+                    blocks += 1;
+                }
+                Uop::JalBad { target } => trap!(Trap::BadJump { target }),
+                Uop::Jalr { rd, rs1, off } => {
+                    let target = r!(rs1).wrapping_add(off);
+                    if target > rom_len {
+                        trap!(Trap::BadJump { target });
+                    }
+                    if rd != 0 {
+                        r!(rd) = pc + 1;
+                    }
+                    next_pc = target;
+                    blocks += 1;
+                }
+                Uop::Halt { code } => {
+                    self.state = State::Halted { code };
+                    result = Some(RunStatus::Halted { code });
+                    break 'burst;
+                }
+            }
+            if O::OBSERVES {
+                if let Some(rd) = table.events[pc as usize].write {
+                    obs.on_reg_access(RegAccess {
+                        cycle,
+                        reg: rd,
+                        kind: AccessKind::Write,
+                    });
+                }
+            }
+            pc = next_pc;
+        }
+        self.pc = pc;
+        self.cycle = cycle;
+        self.block_stats.block_cycles += cycle - start_cycle;
+        self.block_stats.blocks += blocks;
+        result
     }
 
     /// `true` when this machine's *future evolution* is provably identical
@@ -852,7 +1158,13 @@ mod tests {
         a.serial_out(Reg::R1);
         a.j(top);
         let p = a.build().unwrap();
-        let mut m = Machine::with_config(&p, MachineConfig { serial_limit: 10 });
+        let mut m = Machine::with_config(
+            &p,
+            MachineConfig {
+                serial_limit: 10,
+                ..MachineConfig::default()
+            },
+        );
         assert_eq!(m.run(1_000), RunStatus::Trapped(Trap::SerialOverflow));
         assert_eq!(m.serial().len(), 10);
     }
@@ -1179,5 +1491,152 @@ mod tests {
         assert_eq!(obs.accesses[0].cycle, 1);
         assert_eq!(obs.accesses[1].kind, AccessKind::Write);
         assert_eq!(obs.accesses[1].cycle, 3);
+    }
+
+    /// A looping program plus its machine under both engine configs.
+    fn engine_pair() -> (Machine, Machine) {
+        let mut a = Asm::new();
+        let buf = a.data_space("buf", 8);
+        a.li(Reg::R1, 25);
+        let top = a.label_here();
+        a.sw(Reg::R1, Reg::R0, buf.offset());
+        a.lw(Reg::R2, Reg::R0, buf.offset());
+        a.addi(Reg::R1, Reg::R1, -1);
+        a.bne(Reg::R1, Reg::R0, top);
+        a.serial_out(Reg::R2);
+        let p = a.build().unwrap();
+        let blocks = Machine::new(&p);
+        let steps = Machine::with_config(
+            &p,
+            MachineConfig {
+                block_engine: false,
+                ..MachineConfig::default()
+            },
+        );
+        (blocks, steps)
+    }
+
+    #[test]
+    fn block_engine_run_to_is_cycle_exact() {
+        // Every run_to bound — including mid-block ones — must leave the
+        // two engines in identical architectural states.
+        let (mut blocks, mut steps) = engine_pair();
+        for bound in [1u64, 2, 5, 7, 8, 13, 50, 200] {
+            assert_eq!(blocks.run_to(bound), steps.run_to(bound), "bound {bound}");
+            assert_eq!(blocks.cycle(), steps.cycle(), "bound {bound}");
+            assert_eq!(blocks.pc(), steps.pc(), "bound {bound}");
+            assert_eq!(blocks.state_digest(), steps.state_digest(), "bound {bound}");
+        }
+        assert_eq!(blocks.status(), Some(RunStatus::Halted { code: 0 }));
+    }
+
+    #[test]
+    fn block_stats_partition_the_cycle_count() {
+        let (mut blocks, mut steps) = engine_pair();
+        blocks.run(100_000);
+        steps.run(100_000);
+        let b = blocks.block_stats();
+        assert_eq!(
+            b.block_cycles + b.step_cycles,
+            blocks.cycle(),
+            "every retired instruction is attributed to exactly one engine"
+        );
+        assert!(b.block_cycles > 0, "default config must use the µop loop");
+        assert!(b.blocks > 0);
+        let s = steps.block_stats();
+        assert_eq!(s.block_cycles, 0, "disabled engine must never dispatch");
+        assert_eq!(s.step_cycles, steps.cycle());
+        assert!(blocks.rom_block_count() > 1);
+    }
+
+    #[test]
+    fn block_engine_latches_events_on_exact_cycles() {
+        // The input latch flips mid-run; µop bursts must stop short of
+        // each latch cycle so the delivery lands on the same instruction
+        // as under single-stepping.
+        let mut a = Asm::new();
+        a.li(Reg::R3, 6);
+        let top = a.label_here();
+        a.read_input(Reg::R1);
+        a.serial_out(Reg::R1);
+        a.addi(Reg::R3, Reg::R3, -1);
+        a.bne(Reg::R3, Reg::R0, top);
+        let p = a.build().unwrap();
+        // The latch is polled at cycles 2, 6, 10, 14, 18, 22. The second
+        // event lands *exactly* on a poll cycle (its instruction must
+        // already read the new value), the others land mid-loop.
+        let events = vec![
+            ExternalEvent { cycle: 4, value: 7 },
+            ExternalEvent {
+                cycle: 10,
+                value: 8,
+            },
+            ExternalEvent {
+                cycle: 15,
+                value: 9,
+            },
+        ];
+        let mut blocks = Machine::with_events(&p, MachineConfig::default(), events.clone());
+        let mut steps = Machine::with_events(
+            &p,
+            MachineConfig {
+                block_engine: false,
+                ..MachineConfig::default()
+            },
+            events,
+        );
+        assert_eq!(blocks.run(1_000), steps.run(1_000));
+        assert_eq!(blocks.serial(), steps.serial());
+        assert_eq!(blocks.state_digest(), steps.state_digest());
+        // And the latch really was observed changing: three distinct
+        // values must appear in the poll log.
+        assert!(blocks.serial().contains(&7));
+        assert!(blocks.serial().contains(&8));
+        assert!(blocks.serial().contains(&9));
+    }
+
+    #[test]
+    fn block_engine_reads_cycle_counter_exactly() {
+        // MMIO_CYCLE returns the number of *completed* instructions; the
+        // µop loop computes it from its local cycle register.
+        let mut a = Asm::new();
+        a.nop();
+        a.nop();
+        a.read_cycle(Reg::R1);
+        a.serial_out(Reg::R1);
+        a.read_cycle(Reg::R2);
+        let p = a.build().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(100);
+        assert!(m.block_stats().block_cycles > 0);
+        assert_eq!(m.serial(), &[2]);
+        assert_eq!(m.reg(Reg::R2), 4);
+    }
+
+    #[test]
+    fn block_engine_traps_keep_pc_and_consume_the_cycle() {
+        let mut a = Asm::new();
+        a.nop();
+        a.nop();
+        a.lw(Reg::R1, Reg::R0, 1); // misaligned: traps at pc 2, cycle 3
+        let p = a.build().unwrap();
+        let mut blocks = Machine::new(&p);
+        let mut steps = Machine::with_config(
+            &p,
+            MachineConfig {
+                block_engine: false,
+                ..MachineConfig::default()
+            },
+        );
+        let a_status = blocks.run(100);
+        let b_status = steps.run(100);
+        assert_eq!(a_status, b_status);
+        assert!(matches!(
+            a_status,
+            RunStatus::Trapped(Trap::Misaligned { .. })
+        ));
+        assert_eq!(blocks.cycle(), 3);
+        assert_eq!(blocks.pc(), 2, "trap must not advance the pc");
+        assert_eq!(blocks.state_digest(), steps.state_digest());
     }
 }

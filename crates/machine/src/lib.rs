@@ -40,12 +40,14 @@
 //! # Ok::<(), sofi_isa::AsmError>(())
 //! ```
 
+mod block;
 mod cpu;
 mod observer;
 mod ram;
 mod status;
 mod trap;
 
+pub use block::BlockStats;
 pub use cpu::{ConvergenceMask, ExternalEvent, Machine, MachineConfig, StateDigest};
 pub use observer::{
     AccessKind, MemAccess, MemObserver, NullObserver, RecordingObserver, RegAccess, REG_FILE_BITS,

@@ -70,6 +70,15 @@ pub const REG_FILE_BITS: u64 = 15 * 32;
 
 /// Receives RAM access events during execution.
 pub trait MemObserver {
+    /// Whether this observer consumes register-access events. The block
+    /// engine's µop loop uses this to *statically* skip its precomputed
+    /// register-event bookkeeping: on the monomorphized
+    /// [`NullObserver`] path (`OBSERVES == false`) the branch folds to
+    /// nothing at compile time. Memory-access events are cheap enough to
+    /// leave to ordinary inlining. Observers that override
+    /// [`MemObserver::on_reg_access`] must leave this `true`.
+    const OBSERVES: bool = true;
+
     /// Called for every RAM access, in execution order.
     fn on_access(&mut self, access: MemAccess);
 
@@ -85,6 +94,8 @@ pub trait MemObserver {
 pub struct NullObserver;
 
 impl MemObserver for NullObserver {
+    const OBSERVES: bool = false;
+
     #[inline(always)]
     fn on_access(&mut self, _access: MemAccess) {}
 }

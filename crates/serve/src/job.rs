@@ -41,7 +41,7 @@ impl JobSpec {
         let name = r.str()?;
         let source = r.str()?;
         let domain = wire::take_domain(r)?;
-        let mut words = [0u64; 7];
+        let mut words = [0u64; 8];
         for word in &mut words {
             *word = r.u64()?;
         }

@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "SOFI"
-//! 4       2     protocol version (currently 2), little-endian
+//! 4       2     protocol version (currently 3), little-endian
 //! 6       2     message kind, little-endian
 //! 8       4     payload length in bytes, little-endian
 //! 12      4     FNV-1a-32 checksum, little-endian
@@ -38,8 +38,9 @@ pub const MAGIC: [u8; 4] = *b"SOFI";
 /// History: v2 added the [`Message::Stats`]/[`Message::Telemetry`] frame
 /// pair, live [`ExecutorStats`] in [`Message::Progress`] and
 /// [`JobStatus`], and a seventh packed [`sofi_campaign::CampaignConfig`]
-/// word (the `telemetry` flag).
-pub const VERSION: u16 = 2;
+/// word (the `telemetry` flag). v3 appended the eighth packed config
+/// word (the machine's `block_engine` flag).
+pub const VERSION: u16 = 3;
 /// Frame header size in bytes.
 pub const HEADER_LEN: usize = 16;
 /// Upper bound on payload size (64 MiB) — rejected before allocation.

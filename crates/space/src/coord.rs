@@ -16,6 +16,22 @@ pub struct FaultCoord {
     pub bit: u64,
 }
 
+impl FaultCoord {
+    /// The number of cycles to execute before applying this coordinate's
+    /// flip: `cycle - 1`, saturating at zero.
+    ///
+    /// Coordinates inside a valid [`FaultSpace`] always have
+    /// `cycle ≥ 1`, but executors also accept raw coordinates (e.g. from
+    /// a remote client), and a `cycle: 0` coordinate must mean "flip
+    /// before the first instruction" — identical to `cycle: 1` — rather
+    /// than underflow `u64` and run the pristine machine for 2⁶⁴−1
+    /// cycles. Every pre-injection `run_to` in the campaign crate goes
+    /// through this accessor.
+    pub fn pre_injection_cycle(&self) -> u64 {
+        self.cycle.saturating_sub(1)
+    }
+}
+
 impl fmt::Display for FaultCoord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(cycle {}, bit {})", self.cycle, self.bit)
@@ -115,5 +131,14 @@ mod tests {
     #[should_panic(expected = "outside fault space")]
     fn index_bound_checked() {
         FaultSpace::new(2, 2).coord_of_index(4);
+    }
+
+    #[test]
+    fn pre_injection_cycle_saturates_at_zero() {
+        // A raw cycle-0 coordinate means "flip before the first
+        // instruction" — same as cycle 1 — never a u64 underflow.
+        assert_eq!(FaultCoord { cycle: 0, bit: 3 }.pre_injection_cycle(), 0);
+        assert_eq!(FaultCoord { cycle: 1, bit: 3 }.pre_injection_cycle(), 0);
+        assert_eq!(FaultCoord { cycle: 9, bit: 0 }.pre_injection_cycle(), 8);
     }
 }

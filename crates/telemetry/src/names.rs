@@ -17,6 +17,11 @@ pub const RESTORE_DISTANCE_CYCLES: &str = "executor.restore_distance_cycles";
 /// Histogram: wall-clock latency of one memo-cache probe.
 pub const MEMO_PROBE_NS: &str = "executor.memo_probe_ns";
 
+/// Histogram: wall-clock latency of one faulted-run dispatch (injection
+/// to classification), sampled — the per-experiment cost the block
+/// engine's `+blocks` ablation targets.
+pub const DISPATCH_NS: &str = "executor.faulted_dispatch_ns";
+
 /// Histogram: wall-clock latency of one journal append, dominated by
 /// the per-record fsync.
 pub const JOURNAL_FSYNC_NS: &str = "serve.journal_fsync_ns";
@@ -44,6 +49,17 @@ pub const MEMO_HITS: &str = "executor.memo_hits";
 
 /// Counter: memo-cache misses.
 pub const MEMO_MISSES: &str = "executor.memo_misses";
+
+/// Counter: instructions retired through the pre-decoded µop engine
+/// during faulted runs.
+pub const BLOCK_CYCLES: &str = "executor.block_cycles";
+
+/// Counter: instructions retired by cycle-exact single-stepping during
+/// faulted runs (boundary cycles, or the block engine disabled).
+pub const STEP_CYCLES: &str = "executor.step_cycles";
+
+/// Counter: straight-line µop segments executed during faulted runs.
+pub const BLOCKS_EXECUTED: &str = "executor.blocks_executed";
 
 /// Counter: jobs submitted to the daemon (accepted only).
 pub const JOBS_SUBMITTED: &str = "serve.jobs_submitted";

@@ -277,6 +277,64 @@ fn machine_agrees_with_independent_model() {
     }
 }
 
+/// Observer-attached and observer-free runs share one stepping entry
+/// point (`run_to` used to silently step with `NullObserver` while
+/// `run_observed` took the generic path): an observer must never perturb
+/// execution, so both report identical cycle counts and final
+/// architectural state — with the block engine on and off — and the two
+/// engines must feed an attached observer the exact same event streams.
+#[test]
+fn observer_attached_and_observer_free_runs_agree() {
+    use sofi::machine::{MachineConfig, RecordingObserver};
+    let mut rng = DefaultRng::seed_from_u64(0x0B5E);
+    for case in 0..64 {
+        let len = rng.gen_range(1usize..60);
+        let steps: Vec<Gen> = (0..len).map(|_| any_gen(&mut rng)).collect();
+        let mut seed_data = vec![0u8; RAM as usize];
+        rng.fill_bytes(&mut seed_data);
+        let insts: Vec<Inst> = steps.iter().map(lower).collect();
+        let program = Program::new("diff", insts, seed_data, RAM);
+
+        let mut observers = Vec::new();
+        for block_engine in [true, false] {
+            let config = MachineConfig {
+                block_engine,
+                ..MachineConfig::default()
+            };
+            let mut plain = Machine::with_config(&program, config);
+            let plain_status = plain.run(10_000);
+            let mut observed = Machine::with_config(&program, config);
+            let mut obs = RecordingObserver::default();
+            let observed_status = observed.run_observed(10_000, &mut obs);
+            assert_eq!(
+                plain_status, observed_status,
+                "case {case} (blocks={block_engine}): status"
+            );
+            assert_eq!(
+                plain.cycle(),
+                observed.cycle(),
+                "case {case} (blocks={block_engine}): cycle count"
+            );
+            assert_eq!(
+                plain.state_digest(),
+                observed.state_digest(),
+                "case {case} (blocks={block_engine}): final state"
+            );
+            observers.push(obs);
+        }
+        let steps_obs = observers.pop().unwrap();
+        let blocks_obs = observers.pop().unwrap();
+        assert_eq!(
+            blocks_obs.accesses, steps_obs.accesses,
+            "case {case}: engines reported different memory-access streams"
+        );
+        assert_eq!(
+            blocks_obs.reg_accesses, steps_obs.reg_accesses,
+            "case {case}: engines reported different register-access streams"
+        );
+    }
+}
+
 /// The same differential check via the text assembler as a second front
 /// end: `Asm`-built and text-assembled variants must produce identical
 /// machine behaviour.
