@@ -30,6 +30,21 @@ pub struct CampaignConfig {
     /// `tests/memoization_oracle.rs`); the knob exists for ablation and
     /// debugging, like [`CampaignConfig::convergence`].
     pub memoization: bool,
+    /// Adaptively disable memo probing per worker shard when it cannot
+    /// pay for itself (the cost-model gate). Probing costs one state
+    /// digest plus a shared-map lookup at the injection point and at
+    /// every checkpoint crossing; it pays back only when enough lookups
+    /// hit and each hit skips a long enough simulation tail. The gate
+    /// samples both sides at runtime — measured probe latency against
+    /// observed hit savings — and switches probing off for the rest of
+    /// the shard when the cost clearly dominates (plus an a-priori cut
+    /// for programs whose whole runtime is shorter than one probe).
+    /// Outcomes are identical either way (the gate only skips lookups,
+    /// never invents results); decisions are surfaced per shard in
+    /// [`crate::ExecutorStats`] and executor telemetry. On by default;
+    /// the knob exists for ablation (`+memo` vs `+memo2` bench columns)
+    /// and for tests that pin ungated memo mechanics.
+    pub memo_gate: bool,
     /// Record runtime telemetry (`sofi-telemetry` counters, histograms
     /// and phase spans) while the campaign runs. Off by default: the
     /// disabled registry hands out no-op handles, so the executor's hot
@@ -47,6 +62,7 @@ impl Default for CampaignConfig {
             timeout_slack: 1_000,
             convergence: true,
             memoization: true,
+            memo_gate: true,
             telemetry: false,
             machine: MachineConfig::default(),
         }
@@ -86,8 +102,8 @@ impl CampaignConfig {
     /// is the exact inverse; the field order is part of the `sofi-serve`
     /// protocol version, so append new fields rather than reordering
     /// (`telemetry` was appended for protocol version 2,
-    /// `machine.block_engine` for version 3).
-    pub fn pack(&self) -> [u64; 8] {
+    /// `machine.block_engine` for version 3, `memo_gate` for version 4).
+    pub fn pack(&self) -> [u64; 9] {
         [
             self.threads as u64,
             self.timeout_factor,
@@ -97,17 +113,19 @@ impl CampaignConfig {
             self.machine.serial_limit as u64,
             u64::from(self.telemetry),
             u64::from(self.machine.block_engine),
+            u64::from(self.memo_gate),
         ]
     }
 
     /// Rebuilds a configuration from [`CampaignConfig::pack`]ed words.
-    pub fn unpack(words: [u64; 8]) -> CampaignConfig {
+    pub fn unpack(words: [u64; 9]) -> CampaignConfig {
         CampaignConfig {
             threads: words[0] as usize,
             timeout_factor: words[1],
             timeout_slack: words[2],
             convergence: words[3] != 0,
             memoization: words[4] != 0,
+            memo_gate: words[8] != 0,
             telemetry: words[6] != 0,
             machine: MachineConfig {
                 serial_limit: words[5] as usize,
@@ -150,6 +168,7 @@ mod tests {
                 timeout_slack: 123,
                 convergence: false,
                 memoization: false,
+                memo_gate: false,
                 telemetry: true,
                 machine: MachineConfig {
                     serial_limit: 42,

@@ -10,6 +10,7 @@ use sofi_telemetry::{names, LocalHistogram, Registry};
 use sofi_trace::{GoldenError, GoldenRun};
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -59,6 +60,20 @@ pub struct ExecutorStats {
     /// Faulted cycles *not* simulated thanks to memo hits: the cached
     /// final cycle minus the cycle at which the hit occurred.
     pub memoized_cycles_saved: u64,
+    /// Worker shards that finished with memo probing still enabled (the
+    /// cost-model gate judged probing profitable, or
+    /// [`CampaignConfig::memo_gate`] is off). Counted only when
+    /// memoization itself is on.
+    pub gate_shards_on: u64,
+    /// Worker shards where the cost-model gate disabled memo probing —
+    /// a priori (program too short for a probe to ever pay) or after
+    /// sampling showed measured probe cost dominating observed savings.
+    pub gate_shards_off: u64,
+    /// Memo hits served from entries preloaded out of a persistent
+    /// cross-campaign warm store ([`Campaign::preload_memo`]) — a subset
+    /// of `memo_hits`, separated so repeat submissions can report how
+    /// much the daemon's store answered without simulation.
+    pub store_hits: u64,
 }
 
 impl ExecutorStats {
@@ -96,7 +111,36 @@ impl ExecutorStats {
         self.memo_hits += worker.memo_hits;
         self.memo_misses += worker.memo_misses;
         self.memoized_cycles_saved += worker.memoized_cycles_saved;
+        self.gate_shards_on += worker.gate_shards_on;
+        self.gate_shards_off += worker.gate_shards_off;
+        self.store_hits += worker.store_hits;
     }
+
+    /// Fraction of memo hits answered by warm-store-preloaded entries
+    /// (`0.0` when nothing hit).
+    pub fn store_hit_rate(&self) -> f64 {
+        let lookups = self.memo_hits + self.memo_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.store_hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// Where a memo entry came from — provenance drives both the
+/// `store_hits` accounting (hits on [`MemoOrigin::Store`] entries) and
+/// [`Campaign::export_memo`] (only [`MemoOrigin::Fresh`] entries are
+/// worth persisting: seeds are recomputed per campaign and store
+/// entries are already persisted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemoOrigin {
+    /// Recorded by a simulated run in this campaign.
+    Fresh,
+    /// Pre-seeded pristine checkpoint state.
+    Seed,
+    /// Preloaded from a persistent cross-campaign warm store.
+    Store,
 }
 
 /// One memoized outcome: what a run in this exact architectural state
@@ -106,6 +150,26 @@ impl ExecutorStats {
 struct MemoEntry {
     outcome: Outcome,
     final_cycle: u64,
+    origin: MemoOrigin,
+}
+
+/// One exportable fault-equivalence memo entry: a `(cycle, digest) →
+/// (outcome, final_cycle)` fact that holds for any campaign over the
+/// same program, event schedule and outcome-relevant configuration
+/// (cycle budget, serial limit). The `sofi-serve` daemon journals these
+/// in its persistent warm store and feeds them back into later
+/// campaigns via [`Campaign::preload_memo`]; the digest is purely
+/// content-determined, so records survive process restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoRecord {
+    /// Cycle coordinate of the memoized state.
+    pub cycle: u64,
+    /// Architectural-state digest at that cycle.
+    pub digest: StateDigest,
+    /// Outcome every run passing through this state classifies as.
+    pub outcome: Outcome,
+    /// Cycle at which such a run finishes (for cycles-saved accounting).
+    pub final_cycle: u64,
 }
 
 /// The per-campaign fault-equivalence memo: `(cycle, state digest) →
@@ -143,6 +207,10 @@ impl MemoCache {
         }
     }
 
+    fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
     fn clear(&self) {
         self.entries.lock().unwrap().clear();
     }
@@ -171,6 +239,10 @@ pub struct Campaign {
     /// Fault-equivalence outcome memo (see [`MemoCache`]); populated and
     /// consulted only when [`CampaignConfig::memoization`] is on.
     memo: Arc<MemoCache>,
+    /// Set via [`Campaign::set_memo_harvest`] when this campaign feeds a
+    /// persistent warm store: the cost gate then keeps probing locked on
+    /// (shared by clones, like the memo itself).
+    memo_harvest: Arc<AtomicBool>,
     /// Runtime observability ([`sofi_telemetry::Registry`]): phase spans,
     /// per-experiment histograms and executor counters. Disabled (all
     /// no-ops) unless [`CampaignConfig::telemetry`] is set or an enabled
@@ -275,6 +347,15 @@ impl WorkerTel {
             .counter(names::MEMO_MISSES)
             .add(stats.memo_misses);
         self.registry
+            .counter(names::GATE_SHARDS_ON)
+            .add(stats.gate_shards_on);
+        self.registry
+            .counter(names::GATE_SHARDS_OFF)
+            .add(stats.gate_shards_off);
+        self.registry
+            .counter(names::STORE_HITS)
+            .add(stats.store_hits);
+        self.registry
             .counter(names::BLOCK_CYCLES)
             .add(blocks.block_cycles);
         self.registry
@@ -283,6 +364,163 @@ impl WorkerTel {
         self.registry
             .counter(names::BLOCKS_EXECUTED)
             .add(blocks.blocks);
+    }
+}
+
+/// One probe (digest + lookup) and one faulted dispatch in this many is
+/// wall-clock timed by the cost-model gate while it is still deciding.
+const GATE_SAMPLE: u64 = 4;
+
+/// A priori gate cut: with a cold cache, a program whose entire golden
+/// runtime is this short can never pay for a probe — even a 100%-hit
+/// campaign saves at most `golden_cycles` of simulation per experiment,
+/// which is less than the fixed cost of one digest-plus-lookup.
+const GATE_MIN_GOLDEN_CYCLES: u64 = 64;
+
+/// First experiment count at which the gate applies the full measured
+/// cost-vs-savings rule (reviews happen at every power of two).
+const GATE_FULL_REVIEW: u64 = 32;
+
+/// Cost-model gate state for one worker shard (see
+/// [`CampaignConfig::memo_gate`]). The gate decides whether memo
+/// probing — one state digest plus a shared-map lookup at the injection
+/// point and at every checkpoint crossing — pays for itself on this
+/// shard, by sampling the wall-clock cost of probes and of faulted
+/// simulation and comparing measured probe spend against the simulation
+/// time the observed hits avoided. Probing switches off at most once
+/// per shard (no flapping); outcomes are identical either way because
+/// the gate only skips lookups and insertions, never invents results.
+struct MemoGate {
+    /// Memo probing currently enabled for this shard.
+    probing: bool,
+    /// The gate is sampling and may still switch probing off. False
+    /// when the gate knob or memoization is off, or after a decision.
+    deciding: bool,
+    /// Probes issued so far while probing.
+    probes: u64,
+    /// Sampled probe wall-clock (1 in [`GATE_SAMPLE`]).
+    sampled_probe_ns: u64,
+    sampled_probes: u64,
+    /// Sampled faulted-run wall-clock and the cycles those runs
+    /// simulated (pure memo hits — zero cycles — are excluded, so the
+    /// ratio estimates ns per *simulated* cycle).
+    sampled_run_ns: u64,
+    sampled_run_cycles: u64,
+    run_tick: u64,
+}
+
+impl MemoGate {
+    /// Builds the shard's gate. `golden_cycles` and `warm_cache` feed
+    /// the a-priori cut: a cold-cache campaign over a program shorter
+    /// than [`GATE_MIN_GOLDEN_CYCLES`] disables probing outright (a
+    /// warm cache — preloaded store entries or an earlier domain's
+    /// trajectories — can hit at the injection point, which pays at any
+    /// program length, so it always gets a measured trial). With
+    /// `harvest` set ([`Campaign::set_memo_harvest`]) probing is locked
+    /// on and never reviewed: the campaign's probes also produce the
+    /// outcome facts a persistent warm store amortizes across future
+    /// submissions, so "does probing pay within this one campaign" is
+    /// the wrong question to ask.
+    fn new(
+        memoize: bool,
+        adaptive: bool,
+        golden_cycles: u64,
+        warm_cache: bool,
+        harvest: bool,
+    ) -> MemoGate {
+        let a_priori_off = memoize
+            && adaptive
+            && !harvest
+            && !warm_cache
+            && golden_cycles < GATE_MIN_GOLDEN_CYCLES;
+        MemoGate {
+            probing: memoize && !a_priori_off,
+            deciding: memoize && adaptive && !harvest && !a_priori_off,
+            probes: 0,
+            sampled_probe_ns: 0,
+            sampled_probes: 0,
+            sampled_run_ns: 0,
+            sampled_run_cycles: 0,
+            run_tick: 0,
+        }
+    }
+
+    /// One memo probe: digests `m` and looks the key up, wall-clock
+    /// sampled while the gate is deciding. Returns the key (a waypoint
+    /// candidate) and the lookup result.
+    fn probe(
+        &mut self,
+        tel: &WorkerTel,
+        memo: &MemoCache,
+        m: &mut Machine,
+    ) -> ((u64, StateDigest), Option<MemoEntry>) {
+        self.probes += 1;
+        if self.deciding && self.probes.is_multiple_of(GATE_SAMPLE) {
+            let start = Instant::now();
+            let key = (m.cycle(), m.state_digest());
+            let hit = tel.probe(memo, &key);
+            self.sampled_probe_ns += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.sampled_probes += 1;
+            (key, hit)
+        } else {
+            let key = (m.cycle(), m.state_digest());
+            (key, tel.probe(memo, &key))
+        }
+    }
+
+    /// Whether the next faulted dispatch should be wall-clock timed for
+    /// the gate's ns-per-cycle estimate.
+    fn wants_run_sample(&mut self) -> bool {
+        if !self.deciding {
+            return false;
+        }
+        let tick = self.run_tick;
+        self.run_tick += 1;
+        tick.is_multiple_of(GATE_SAMPLE)
+    }
+
+    /// Records one timed faulted dispatch (skipped when the run was a
+    /// pure memo hit and simulated nothing).
+    fn record_run(&mut self, ns: u64, cycles: u64) {
+        if cycles > 0 {
+            self.sampled_run_ns += ns;
+            self.sampled_run_cycles += cycles;
+        }
+    }
+
+    /// Reviews the decision after `experiments` completed experiments
+    /// (cheap: only acts at powers of two). Before [`GATE_FULL_REVIEW`]
+    /// experiments only the hopeless case is cut — zero hits while
+    /// measured probe spend already exceeds all simulation time — so
+    /// campaigns whose hit rate ramps slowly (cold register-domain
+    /// scans) are not written off early. From [`GATE_FULL_REVIEW`] on,
+    /// probing must keep measured cost within twice the simulation time
+    /// its hits saved.
+    fn review(&mut self, experiments: u64, stats: &ExecutorStats) {
+        if !self.deciding || experiments < 4 || !experiments.is_power_of_two() {
+            return;
+        }
+        if self.sampled_probes == 0 || self.sampled_run_cycles == 0 {
+            return; // nothing measured yet (e.g. every run hit at injection)
+        }
+        let avg_probe_ns = self.sampled_probe_ns as f64 / self.sampled_probes as f64;
+        let cost_ns = self.probes as f64 * avg_probe_ns;
+        let ns_per_cycle = self.sampled_run_ns as f64 / self.sampled_run_cycles as f64;
+        let saved_ns = stats.memoized_cycles_saved as f64 * ns_per_cycle;
+        let sim_ns = stats.faulted_cycles as f64 * ns_per_cycle;
+        let off = if experiments < GATE_FULL_REVIEW {
+            stats.memo_hits == 0 && cost_ns > sim_ns
+        } else {
+            cost_ns > 2.0 * saved_ns
+        };
+        if off {
+            self.probing = false;
+            self.deciding = false;
+        } else if experiments >= GATE_FULL_REVIEW {
+            // Probing has proven itself on real volume; stop sampling
+            // (and stop paying for the clock) for the rest of the shard.
+            self.deciding = false;
+        }
     }
 }
 
@@ -390,6 +628,7 @@ impl Campaign {
             config,
             checkpoints: OnceLock::new(),
             memo: Arc::new(MemoCache::default()),
+            memo_harvest: Arc::new(AtomicBool::new(false)),
             telemetry,
         })
     }
@@ -722,8 +961,67 @@ impl Campaign {
             MemoEntry {
                 outcome: Outcome::NoEffect,
                 final_cycle: self.golden.cycles,
+                origin: MemoOrigin::Seed,
             },
         );
+    }
+
+    /// Marks this campaign as feeding a persistent warm store: the cost
+    /// gate keeps memo probing locked on for every shard, short golden
+    /// runs included, because the probes' outcome facts are exported
+    /// ([`Campaign::export_memo`]) and amortized across future
+    /// submissions over the same context — even when probing cannot pay
+    /// for itself within this single campaign. No-op when
+    /// [`CampaignConfig::memoization`] is off.
+    pub fn set_memo_harvest(&self) {
+        self.memo_harvest.store(true, Ordering::Relaxed);
+    }
+
+    /// Exports the fault-equivalence facts *this campaign's runs*
+    /// established: every [`MemoOrigin::Fresh`] entry, sorted by
+    /// `(cycle, digest)` for deterministic output. Pre-seeded checkpoint
+    /// states and entries preloaded via [`Campaign::preload_memo`] are
+    /// excluded — the former are recomputed per campaign, the latter are
+    /// already persisted wherever they came from.
+    pub fn export_memo(&self) -> Vec<MemoRecord> {
+        let map = self.memo.entries.lock().unwrap();
+        let mut out: Vec<MemoRecord> = map
+            .iter()
+            .filter(|(_, e)| e.origin == MemoOrigin::Fresh)
+            .map(|(&(cycle, digest), e)| MemoRecord {
+                cycle,
+                digest,
+                outcome: e.outcome,
+                final_cycle: e.final_cycle,
+            })
+            .collect();
+        drop(map);
+        out.sort_by_key(|r| (r.cycle, r.digest.to_bits()));
+        out
+    }
+
+    /// Preloads externally persisted fault-equivalence facts (from the
+    /// `sofi-serve` warm store, or a previous campaign's
+    /// [`Campaign::export_memo`]) into the memo. Existing entries win;
+    /// preloaded entries are tagged [`MemoOrigin::Store`] so hits on
+    /// them are counted separately ([`ExecutorStats::store_hits`]) and
+    /// they are not re-exported. No-op when memoization is off.
+    ///
+    /// Soundness is the caller's contract: records must come from a
+    /// campaign over the same program, event schedule, cycle budget and
+    /// serial limit (the daemon keys its store by exactly that context).
+    pub fn preload_memo(&self, records: &[MemoRecord]) {
+        if !self.config.memoization || records.is_empty() {
+            return;
+        }
+        let mut map = self.memo.entries.lock().unwrap();
+        for r in records {
+            map.entry((r.cycle, r.digest)).or_insert(MemoEntry {
+                outcome: r.outcome,
+                final_cycle: r.final_cycle,
+                origin: MemoOrigin::Store,
+            });
+        }
     }
 
     /// Clears the fault-equivalence memo (re-seeding the pristine
@@ -842,6 +1140,19 @@ impl Campaign {
         };
         let mut out = Vec::new();
         let mut block_totals = BlockStats::default();
+        // A cache holding more than the per-checkpoint seeds is warm —
+        // preloaded from the daemon's store or populated by an earlier
+        // domain's runs over this shared campaign — and exempt from the
+        // gate's a-priori short-program cut (injection-point hits pay at
+        // any program length).
+        let warm_cache = self.memo.len() > checkpoints.len();
+        let mut gate = MemoGate::new(
+            self.config.memoization,
+            self.config.memo_gate,
+            self.golden.cycles,
+            warm_cache,
+            self.memo_harvest.load(Ordering::Relaxed),
+        );
         // The worker's start machine always comes from a checkpoint
         // restore (or a fresh machine), so the first advance is a
         // restore distance too.
@@ -867,7 +1178,7 @@ impl Campaign {
                 "golden-derived plan outlived the program (cycle {})",
                 e.coord.cycle
             );
-            if self.config.memoization {
+            if self.config.memoization && gate.probing {
                 // Warm the pristine machine's page-hash cache so the
                 // fork's injection-point digest below only re-hashes the
                 // page the bit-flip dirties (none, for register faults).
@@ -879,14 +1190,36 @@ impl Campaign {
                 FaultDomain::RegisterFile => m.flip_reg_bit(e.coord.bit),
             }
             let base = m.block_stats();
-            let outcome =
-                tel.timed_dispatch(|| self.run_faulted(&mut m, checkpoints, &mut stats, tel));
+            let outcome = if gate.wants_run_sample() {
+                let cycles_before = stats.faulted_cycles;
+                let start = Instant::now();
+                let outcome = tel.timed_dispatch(|| {
+                    self.run_faulted(&mut m, checkpoints, &mut stats, tel, &mut gate)
+                });
+                gate.record_run(
+                    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    stats.faulted_cycles - cycles_before,
+                );
+                outcome
+            } else {
+                tel.timed_dispatch(|| {
+                    self.run_faulted(&mut m, checkpoints, &mut stats, tel, &mut gate)
+                })
+            };
             block_totals.absorb(m.block_stats().delta_since(base));
             stats.experiments += 1;
+            gate.review(stats.experiments, &stats);
             out.push(ExperimentResult {
                 experiment: e,
                 outcome,
             });
+        }
+        if self.config.memoization {
+            if gate.probing {
+                stats.gate_shards_on = 1;
+            } else {
+                stats.gate_shards_off = 1;
+            }
         }
         tel.flush(&stats, &block_totals);
         shard_span.finish();
@@ -928,10 +1261,14 @@ impl Campaign {
         checkpoints: &[Checkpoint],
         stats: &mut ExecutorStats,
         tel: &WorkerTel,
+        gate: &mut MemoGate,
     ) -> Outcome {
         let budget = self.config.cycle_budget(self.golden.cycles);
         let start_cycle = m.cycle();
-        let memoize = self.config.memoization;
+        // The cost-model gate masks memoization for the rest of the
+        // shard once probing demonstrably cannot pay (see [`MemoGate`]);
+        // a gated-off run neither looks up nor records trajectories.
+        let memoize = self.config.memoization && gate.probing;
         // State digests this run passes through; on completion every one
         // of them maps to the run's outcome, so later injections that
         // converge *into* this trajectory hit at their next checkpoint.
@@ -940,9 +1277,12 @@ impl Campaign {
             // Injection-point lookup: an earlier experiment (in either
             // fault domain) that produced this exact post-injection state
             // already determined the outcome.
-            let key = (m.cycle(), m.state_digest());
-            if let Some(hit) = tel.probe(&self.memo, &key) {
+            let (key, hit) = gate.probe(tel, &self.memo, m);
+            if let Some(hit) = hit {
                 stats.memo_hits += 1;
+                if hit.origin == MemoOrigin::Store {
+                    stats.store_hits += 1;
+                }
                 stats.memoized_cycles_saved += hit.final_cycle.saturating_sub(m.cycle());
                 tel.faulted_run_cycles.record(0);
                 return hit.outcome;
@@ -966,6 +1306,7 @@ impl Campaign {
                         MemoEntry {
                             outcome,
                             final_cycle: m.cycle(),
+                            origin: MemoOrigin::Fresh,
                         },
                     );
                     return outcome;
@@ -976,17 +1317,21 @@ impl Campaign {
                     // already-explored trajectory — most commonly the
                     // exact pristine state, pre-seeded per checkpoint —
                     // resolve here and also donate their own waypoints.
-                    let key = (m.cycle(), m.state_digest());
-                    if let Some(hit) = tel.probe(&self.memo, &key) {
+                    let (key, hit) = gate.probe(tel, &self.memo, m);
+                    if let Some(hit) = hit {
                         stats.faulted_cycles += m.cycle() - start_cycle;
                         tel.faulted_run_cycles.record(m.cycle() - start_cycle);
                         stats.memo_hits += 1;
+                        if hit.origin == MemoOrigin::Store {
+                            stats.store_hits += 1;
+                        }
                         stats.memoized_cycles_saved += hit.final_cycle.saturating_sub(m.cycle());
                         self.memo.insert_all(
                             &waypoints,
                             MemoEntry {
                                 outcome: hit.outcome,
                                 final_cycle: hit.final_cycle,
+                                origin: MemoOrigin::Fresh,
                             },
                         );
                         return hit.outcome;
@@ -1012,6 +1357,7 @@ impl Campaign {
                         MemoEntry {
                             outcome,
                             final_cycle: self.golden.cycles,
+                            origin: MemoOrigin::Fresh,
                         },
                     );
                     return outcome;
@@ -1027,6 +1373,7 @@ impl Campaign {
             MemoEntry {
                 outcome,
                 final_cycle: m.cycle(),
+                origin: MemoOrigin::Fresh,
             },
         );
         outcome

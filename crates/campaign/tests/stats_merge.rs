@@ -18,6 +18,9 @@ fn random_stats(rng: &mut DefaultRng) -> ExecutorStats {
         memo_hits: rng.next_u64() % 10_000,
         memo_misses: rng.next_u64() % 10_000,
         memoized_cycles_saved: rng.next_u64() % 1_000_000,
+        gate_shards_on: rng.next_u64() % 8,
+        gate_shards_off: rng.next_u64() % 8,
+        store_hits: rng.next_u64() % 10_000,
     }
 }
 

@@ -11,8 +11,9 @@
 //!                                          sampling campaign + extrapolation
 //! sofi diagram <prog.s>                    ASCII fault-space diagram
 //! sofi compare <baseline.s> <hardened.s>   soundly compare two variants
-//! sofi serve [--addr A] [--journal PATH]   campaign service daemon
-//! sofi submit <prog.s> [--registers|--memory] [--wait]
+//! sofi serve [--addr A] [--journal PATH] [--store FILE]
+//!                                          campaign service daemon
+//! sofi submit <prog.s> [--registers|--memory] [--wait] [--cold]
 //!                                          queue a campaign on the daemon
 //! sofi status [job-id]                     job table with live progress/rates
 //! sofi stats [job-id] [--watch]            telemetry snapshot from the daemon
@@ -71,9 +72,10 @@ USAGE:
   sofi sample <prog.s> --draws N [--seed S] [--mode raw|weighted|biased]
   sofi diagram <prog.s>
   sofi compare <baseline.s> <hardened.s>
-  sofi serve [--addr A] [--journal PATH] [--workers N] [--queue N] [--batch N]
+  sofi serve [--addr A] [--journal PATH] [--store FILE] [--workers N]
+             [--queue N] [--batch N]
   sofi submit <prog.s> [--addr A] [--registers|--memory] [--wait]
-              [--threads N] [--json] [--out FILE]
+              [--threads N] [--cold] [--json] [--out FILE]
   sofi status [job-id] [--addr A]
   sofi stats [job-id] [--addr A] [--watch] [--json] [--out FILE]
   sofi cancel <job-id> [--addr A]
@@ -383,23 +385,33 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
             ("--workers", true),
             ("--queue", true),
             ("--batch", true),
+            ("--store", true),
         ],
     )?;
     let addr = addr_of(args);
     let journal = flag_value(args, "--journal").unwrap_or(DEFAULT_JOURNAL);
+    let store = flag_value(args, "--store").map(std::path::PathBuf::from);
     let defaults = ServeConfig::default();
     let config = ServeConfig {
         workers: parse_u64(args, "--workers", defaults.workers as u64)? as usize,
         queue_capacity: parse_u64(args, "--queue", defaults.queue_capacity as u64)? as usize,
         batch_size: parse_u64(args, "--batch", defaults.batch_size as u64)? as usize,
+        warm_store: store.clone(),
         ..defaults
     };
     let server = Server::bind(&addr, std::path::Path::new(journal), config)
         .map_err(|e| CliError(format!("cannot start daemon on {addr}: {e}")))?;
-    eprintln!(
-        "sofi-serve listening on {} (journal: {journal})",
-        server.local_addr()
-    );
+    match &store {
+        Some(path) => eprintln!(
+            "sofi-serve listening on {} (journal: {journal}, warm store: {})",
+            server.local_addr(),
+            path.display()
+        ),
+        None => eprintln!(
+            "sofi-serve listening on {} (journal: {journal})",
+            server.local_addr()
+        ),
+    }
     server
         .run()
         .map_err(|e| CliError(format!("daemon failed: {e}")))?;
@@ -438,6 +450,9 @@ fn submit_spec(args: &[String]) -> Result<JobSpec, CliError> {
             threads: parse_u64(args, "--threads", 0)? as usize,
             ..CampaignConfig::default()
         },
+        // Warm-store participation is the default; `--cold` opts out for
+        // ablation runs and store-independent benchmarking.
+        warm_store: !args.iter().any(|a| a == "--cold"),
     })
 }
 
@@ -450,6 +465,7 @@ fn cmd_submit(args: &[String]) -> Result<String, CliError> {
             ("--memory", false),
             ("--wait", false),
             ("--threads", true),
+            ("--cold", false),
             ("--json", false),
             ("--out", true),
         ],
@@ -463,9 +479,12 @@ fn cmd_submit(args: &[String]) -> Result<String, CliError> {
     let (job, result, stats) = client
         .submit_wait(spec, |done, total, stats| {
             eprint!(
-                "\rprogress: {done}/{total} experiments ({:.0}% early-term, {:.0}% memo hits)",
+                "\rprogress: {done}/{total} experiments ({:.0}% early-term, {:.0}% memo hits, {:.0}% warm, gate {}/{})",
                 stats.early_termination_rate() * 100.0,
                 stats.memo_hit_rate() * 100.0,
+                stats.store_hit_rate() * 100.0,
+                stats.gate_shards_on,
+                stats.gate_shards_on + stats.gate_shards_off,
             );
             if total > 0 && done == total {
                 eprintln!();
@@ -499,6 +518,14 @@ fn cmd_submit(args: &[String]) -> Result<String, CliError> {
         "executor    : {} workers, {} faulted cycles simulated",
         stats.workers, stats.faulted_cycles
     );
+    let _ = writeln!(
+        out,
+        "memoization : {:.0}% hits ({:.0}% from warm store), gate on for {}/{} shards",
+        stats.memo_hit_rate() * 100.0,
+        stats.store_hit_rate() * 100.0,
+        stats.gate_shards_on,
+        stats.gate_shards_on + stats.gate_shards_off,
+    );
     Ok(out)
 }
 
@@ -524,6 +551,8 @@ fn cmd_status(args: &[String]) -> Result<String, CliError> {
         "progress",
         "early-term",
         "memo hits",
+        "warm hits",
+        "gate",
     ]);
     for j in &jobs {
         // Jobs replayed from a journal know their covered count but not
@@ -543,13 +572,20 @@ fn cmd_status(args: &[String]) -> Result<String, CliError> {
         // Rates are ratios of the counters merged from every committed
         // batch, so they are meaningful mid-run; recovered terminal jobs
         // replayed without stats show "-" instead of misleading zeros.
-        let (early, memo) = if j.stats.experiments > 0 {
+        let (early, memo, warm) = if j.stats.experiments > 0 {
             (
                 format!("{:.0}%", j.stats.early_termination_rate() * 100.0),
                 format!("{:.0}%", j.stats.memo_hit_rate() * 100.0),
+                format!("{:.0}%", j.stats.store_hit_rate() * 100.0),
             )
         } else {
-            ("-".to_string(), "-".to_string())
+            ("-".to_string(), "-".to_string(), "-".to_string())
+        };
+        let gate_total = j.stats.gate_shards_on + j.stats.gate_shards_off;
+        let gate = if gate_total > 0 {
+            format!("{}/{} on", j.stats.gate_shards_on, gate_total)
+        } else {
+            "-".to_string()
         };
         t.row(vec![
             j.id.to_string(),
@@ -559,6 +595,8 @@ fn cmd_status(args: &[String]) -> Result<String, CliError> {
             progress,
             early,
             memo,
+            warm,
+            gate,
         ]);
     }
     Ok(format!("{t}"))

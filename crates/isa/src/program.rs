@@ -157,6 +157,42 @@ impl Program {
         self.ram_size = self.ram_size.max(bytes);
     }
 
+    /// Renders the program as assembly source that
+    /// [`crate::assemble_text`] re-assembles into a program with
+    /// identical instructions, initial data and RAM size — the three
+    /// inputs that determine execution and both fault-space extents.
+    /// Symbol names and [`Program::code_fixups`] are *not* preserved
+    /// (branches and `jal` targets are already resolved to numeric
+    /// offsets, and data labels become anonymous), so the round trip is
+    /// behavioural, not syntactic.
+    ///
+    /// This is how programs constructed through the [`crate::Asm`]
+    /// builder (e.g. the built-in workload suite) travel to the serve
+    /// daemon, whose job specs carry assembly text.
+    pub fn to_source(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, ".ram {}", self.ram_size);
+        if !self.data.is_empty() {
+            out.push_str(".data\n");
+            for chunk in self.data.chunks(16) {
+                out.push_str(".byte ");
+                for (i, b) in chunk.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{b:#04x}");
+                }
+                out.push('\n');
+            }
+        }
+        out.push_str(".text\n");
+        for inst in &self.insts {
+            let _ = writeln!(out, "{inst}");
+        }
+        out
+    }
+
     /// Serializes the ROM to its 32-bit binary form.
     pub fn encode_rom(&self) -> Vec<u32> {
         self.insts.iter().map(|&i| crate::encode(i)).collect()
@@ -176,6 +212,26 @@ impl Program {
 mod tests {
     use super::*;
     use crate::{Asm, Reg};
+
+    #[test]
+    fn to_source_round_trips_insts_data_and_ram() {
+        let mut a = Asm::with_name("rt");
+        let buf = a.data_space("buf", 8);
+        a.data_bytes("msg", b"Hi");
+        a.li(Reg::R1, 42);
+        a.sw(Reg::R1, Reg::R0, buf.offset());
+        let skip = a.new_label();
+        a.beq(Reg::R1, Reg::R2, skip);
+        a.serial_out(Reg::R1);
+        a.bind(skip);
+        a.halt(0);
+        let mut p = a.build().unwrap();
+        p.grow_ram(64);
+        let q = crate::assemble_text("rt", &p.to_source()).unwrap();
+        assert_eq!(q.insts, p.insts);
+        assert_eq!(q.data, p.data);
+        assert_eq!(q.ram_size, p.ram_size);
+    }
 
     #[test]
     fn ram_size_covers_data() {

@@ -86,6 +86,13 @@ pub struct Machine {
     input_latch: u32,
     state: State,
     config: MachineConfig,
+    /// Rolling serial-output hash: the two-lane fold over the complete
+    /// 8-byte chunks of `serial[..serial_hash_pos]`. The serial buffer
+    /// is append-only for a machine's lifetime, so
+    /// [`Machine::state_digest`] folds only the bytes appended since the
+    /// previous probe instead of re-walking the whole buffer.
+    serial_hash: (u64, u64),
+    serial_hash_pos: usize,
     /// Decode-once µop table for `rom` (see [`crate::block`]); shared by
     /// clones, never invalidated (the ROM is immutable).
     blocks: Arc<BlockTable>,
@@ -135,6 +142,8 @@ impl Machine {
             input_latch: 0,
             state: State::Running,
             config,
+            serial_hash: SERIAL_HASH_SEED,
+            serial_hash_pos: 0,
             blocks,
             block_stats: BlockStats::default(),
         }
@@ -838,11 +847,58 @@ impl Machine {
     /// digest as well, so the digest alone already separates states at
     /// different times.
     ///
-    /// Takes `&mut self` to maintain the per-page RAM hash cache
-    /// ([`crate::Ram::content_hash`]): digesting a fork of an
-    /// already-digested machine costs `O(pages dirtied since the fork)`
-    /// plus the (small) fixed-size state.
+    /// Takes `&mut self` to maintain the incremental hashing state: the
+    /// RAM hash is a rolling accumulator over dirtied COW pages
+    /// ([`crate::Ram::content_hash`]) and the serial hash resumes from
+    /// the last probed position (serial output only ever appends), so
+    /// digesting a fork of an already-digested machine costs `O(pages
+    /// dirtied + serial bytes appended since the fork)` plus the (small)
+    /// fixed-size state — `O(1)` for a clean re-probe.
+    ///
+    /// The digest *value* is purely content-determined (held against
+    /// [`Machine::state_digest_from_scratch`] by the fuzz battery), so
+    /// digests computed in different processes — or persisted across
+    /// daemon restarts by the warm store — compare meaningfully.
     pub fn state_digest(&mut self) -> StateDigest {
+        use crate::ram::fold128;
+        // Fold the serial bytes appended since the previous probe into
+        // the cached accumulator (complete 8-byte chunks only; the
+        // partial tail is re-folded per probe below).
+        while self.serial_hash_pos + 8 <= self.serial.len() {
+            let chunk = &self.serial[self.serial_hash_pos..self.serial_hash_pos + 8];
+            self.serial_hash = fold128(
+                self.serial_hash,
+                u64::from_le_bytes(chunk.try_into().unwrap()),
+            );
+            self.serial_hash_pos += 8;
+        }
+        let serial = finish_serial_hash(
+            self.serial_hash,
+            &self.serial[self.serial_hash_pos..],
+            self.serial.len(),
+        );
+        let ram = self.ram.content_hash();
+        self.digest_with(serial, ram)
+    }
+
+    /// [`Machine::state_digest`] recomputed with no cached hashing state
+    /// (full serial re-walk, [`crate::Ram::content_hash_from_scratch`]).
+    /// The oracle the digest-equality fuzz battery compares the
+    /// incremental digest against.
+    pub fn state_digest_from_scratch(&self) -> StateDigest {
+        use crate::ram::fold128;
+        let mut sacc = SERIAL_HASH_SEED;
+        let complete = self.serial.len() / 8 * 8;
+        for chunk in self.serial[..complete].chunks_exact(8) {
+            sacc = fold128(sacc, u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let serial = finish_serial_hash(sacc, &self.serial[complete..], self.serial.len());
+        self.digest_with(serial, self.ram.content_hash_from_scratch())
+    }
+
+    /// Folds the fixed-size architectural state around the given serial
+    /// and RAM sub-hashes.
+    fn digest_with(&self, serial: (u64, u64), ram: u128) -> StateDigest {
         use crate::ram::fold128;
         let mut acc = (0x9216_D5D9_8979_FB1B, 0x0D95_748F_728E_B658);
         acc = fold128(
@@ -861,16 +917,9 @@ impl Machine {
             acc = fold128(acc, (pair[0] as u64) << 32 | pair[1] as u64);
         }
         // Serial content matters to classification (SDC is a serial
-        // mismatch), so the digest covers the bytes, not just the
-        // length. Folding the length first disambiguates the
-        // zero-padded final chunk.
-        acc = fold128(acc, self.serial.len() as u64);
-        for chunk in self.serial.chunks(8) {
-            let mut word = [0u8; 8];
-            word[..chunk.len()].copy_from_slice(chunk);
-            acc = fold128(acc, u64::from_le_bytes(word));
-        }
-        let ram = self.ram.content_hash();
+        // mismatch), so the digest covers the bytes, not just the length.
+        acc = fold128(acc, serial.0);
+        acc = fold128(acc, serial.1);
         acc = fold128(acc, (ram >> 64) as u64);
         acc = fold128(acc, ram as u64);
         StateDigest((acc.0 as u128) << 64 | acc.1 as u128)
@@ -892,12 +941,45 @@ impl Machine {
     }
 }
 
+/// Seed of the rolling serial-output sub-hash (independent of the RAM
+/// and whole-state seeds so the sub-hashes never alias).
+const SERIAL_HASH_SEED: (u64, u64) = (0xC2B2_AE3D_27D4_EB4F, 0x1656_67B1_9E37_79F9);
+
+/// Completes a serial sub-hash: folds the zero-padded partial tail
+/// chunk (if any) and the total length (which disambiguates the
+/// padding) into a copy of the rolling accumulator.
+fn finish_serial_hash(mut acc: (u64, u64), tail: &[u8], len: usize) -> (u64, u64) {
+    use crate::ram::fold128;
+    if !tail.is_empty() {
+        let mut word = [0u8; 8];
+        word[..tail.len()].copy_from_slice(tail);
+        acc = fold128(acc, u64::from_le_bytes(word));
+    }
+    fold128(acc, len as u64)
+}
+
 /// Opaque 128-bit architectural-state digest, produced by
 /// [`Machine::state_digest`]. Suitable as a hash-map key; equality of
 /// digests is (collision-negligibly) equivalent to equality of the full
 /// architectural state for machines running the same program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StateDigest(u128);
+
+impl StateDigest {
+    /// The raw digest bits, for serialization (the daemon's persistent
+    /// warm store journals digests and compares them across processes —
+    /// sound because the digest is purely content-determined).
+    #[inline]
+    pub fn to_bits(self) -> u128 {
+        self.0
+    }
+
+    /// Rebuilds a digest from [`StateDigest::to_bits`].
+    #[inline]
+    pub fn from_bits(bits: u128) -> StateDigest {
+        StateDigest(bits)
+    }
+}
 
 /// Injectively encodes a trap cause into a word for the state digest.
 /// Variant tags sit in the low byte; payloads (which are ≤ 34 bits) are

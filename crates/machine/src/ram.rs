@@ -59,6 +59,34 @@ fn hash_page(page: &Page) -> u128 {
     (acc.0 as u128) << 64 | acc.1 as u128
 }
 
+/// A page's position-mixed contribution to the rolling whole-RAM hash.
+///
+/// The whole-RAM hash combines pages by per-lane wrapping *sums* of
+/// these contributions, so a single page's contribution can be
+/// subtracted back out when the page is dirtied — that is what makes
+/// [`Ram::content_hash`] incremental. Each contribution mixes the page
+/// *index* into both lanes through [`mix64`] before and after the page
+/// hash enters, so permuted or duplicated page contents never produce
+/// colliding sums the way a plain XOR/sum of raw page hashes would.
+#[inline]
+fn page_contrib(ph: u128, p: usize) -> (u64, u64) {
+    let pos = p as u64;
+    (
+        mix64((ph >> 64) as u64 ^ mix64(pos ^ 0x8509_4E22_45C4_BC83)),
+        mix64((ph as u64).wrapping_add(mix64(pos ^ 0x6A09_E667_F3BC_C909))),
+    )
+}
+
+/// Folds the accumulated page-contribution sums (and the RAM size) into
+/// the final 128-bit content hash.
+#[inline]
+fn finish_content_hash(size: u32, acc: (u64, u64)) -> u128 {
+    let mut h = fold128((0x4528_21E6_38D0_1377, 0xBE54_66CF_34E9_0C6C), size as u64);
+    h = fold128(h, acc.0);
+    h = fold128(h, acc.1);
+    (h.0 as u128) << 64 | h.1 as u128
+}
+
 /// Main memory: the only fault-susceptible component in the paper's model.
 ///
 /// Addresses run from `0` to `size() - 1`; the fault space's memory extent
@@ -92,6 +120,15 @@ pub struct Ram {
     /// mutates a page in place when the refcount is 1, so a
     /// pointer-keyed cache would silently go stale.
     page_hashes: Vec<Option<u128>>,
+    /// Rolling per-lane wrapping sums of [`page_contrib`] over exactly
+    /// the pages whose `page_hashes` entry is populated. Dirtying a page
+    /// subtracts its old contribution (ℤ/2⁶⁴ group arithmetic, exact);
+    /// re-hashing adds the new one back.
+    hash_acc: (u64, u64),
+    /// Page indices missing from `hash_acc` — exactly the `None` entries
+    /// of `page_hashes`, maintained duplicate-free so a probe pays
+    /// `O(pages dirtied since the last probe)`, never `O(pages)`.
+    stale_pages: Vec<u32>,
 }
 
 impl Ram {
@@ -102,6 +139,8 @@ impl Ram {
             size,
             pages: vec![zero_page(); count],
             page_hashes: vec![None; count],
+            hash_acc: (0, 0),
+            stale_pages: (0..count as u32).collect(),
         }
     }
 
@@ -210,32 +249,61 @@ impl Ram {
 
     /// 128-bit content hash of the full memory image, position-sensitive
     /// over pages. Equal contents always hash equal (the hash never sees
-    /// the COW sharing structure); unequal contents collide with
-    /// probability ~2⁻¹²⁸ per pair.
+    /// the COW sharing structure — or the incremental bookkeeping);
+    /// unequal contents collide with probability ~2⁻¹²⁸ per pair.
     ///
-    /// Per-page hashes are cached and invalidated on write, and clones
-    /// inherit the cache, so hashing a fork of an already-hashed RAM
-    /// costs `O(pages dirtied since the fork)` — the property the
-    /// campaign executor's fault-equivalence memoization relies on to
-    /// digest machine state at every injection and checkpoint crossing.
+    /// The hash is *incremental*: a rolling per-lane sum of
+    /// position-mixed page contributions is maintained across writes —
+    /// dirtying a page subtracts its old contribution, and a probe
+    /// re-hashes and re-adds only the pages dirtied since the previous
+    /// probe. Clones inherit the accumulator and per-page cache, so
+    /// digesting a fork of an already-hashed RAM costs `O(pages dirtied
+    /// since the fork)` and a clean re-probe costs `O(1)` — not
+    /// `O(pages)` as in the pre-incremental sequential fold. This is the
+    /// property the campaign executor's fault-equivalence memoization
+    /// relies on to digest machine state at every injection and
+    /// checkpoint crossing without making RAM-heavy plans lose.
+    ///
+    /// [`Ram::content_hash_from_scratch`] recomputes the same value with
+    /// no cached state; the fuzz battery in `tests/memoization_fuzz.rs`
+    /// holds the two equal across random write/flip/fork interleavings.
     pub fn content_hash(&mut self) -> u128 {
-        let mut acc = fold128(
-            (0x4528_21E6_38D0_1377, 0xBE54_66CF_34E9_0C6C),
-            self.size as u64,
-        );
-        for p in 0..self.pages.len() {
-            let ph = match self.page_hashes[p] {
-                Some(ph) => ph,
-                None => {
-                    let ph = hash_page(&self.pages[p]);
-                    self.page_hashes[p] = Some(ph);
-                    ph
-                }
-            };
-            acc = fold128(acc, (ph >> 64) as u64);
-            acc = fold128(acc, ph as u64);
+        while let Some(p) = self.stale_pages.pop() {
+            let p = p as usize;
+            let ph = hash_page(&self.pages[p]);
+            self.page_hashes[p] = Some(ph);
+            let (c0, c1) = page_contrib(ph, p);
+            self.hash_acc.0 = self.hash_acc.0.wrapping_add(c0);
+            self.hash_acc.1 = self.hash_acc.1.wrapping_add(c1);
         }
-        (acc.0 as u128) << 64 | acc.1 as u128
+        finish_content_hash(self.size, self.hash_acc)
+    }
+
+    /// [`Ram::content_hash`] recomputed from the raw page contents alone,
+    /// ignoring (and not touching) the incremental accumulator and
+    /// per-page cache. The oracle the digest-equality fuzz battery
+    /// compares the rolling hash against.
+    pub fn content_hash_from_scratch(&self) -> u128 {
+        let mut acc = (0u64, 0u64);
+        for (p, page) in self.pages.iter().enumerate() {
+            let (c0, c1) = page_contrib(hash_page(page), p);
+            acc.0 = acc.0.wrapping_add(c0);
+            acc.1 = acc.1.wrapping_add(c1);
+        }
+        finish_content_hash(self.size, acc)
+    }
+
+    /// Records that page `p` is about to change: subtracts its
+    /// contribution from the rolling hash and queues it for re-hashing
+    /// at the next probe. A page already dirty is already queued.
+    #[inline]
+    fn touch_page(&mut self, p: usize) {
+        if let Some(ph) = self.page_hashes[p].take() {
+            let (c0, c1) = page_contrib(ph, p);
+            self.hash_acc.0 = self.hash_acc.0.wrapping_sub(c0);
+            self.hash_acc.1 = self.hash_acc.1.wrapping_sub(c1);
+            self.stale_pages.push(p as u32);
+        }
     }
 
     fn check(&self, addr: u32, width: MemWidth) -> Result<usize, Trap> {
@@ -278,7 +346,7 @@ impl Ram {
     /// Same conditions as [`Ram::read`].
     pub fn write(&mut self, addr: u32, width: MemWidth, value: u32) -> Result<(), Trap> {
         let i = self.check(addr, width)?;
-        self.page_hashes[i / PAGE_BYTES] = None;
+        self.touch_page(i / PAGE_BYTES);
         let page = Arc::make_mut(&mut self.pages[i / PAGE_BYTES]);
         let o = i % PAGE_BYTES;
         match width {
@@ -299,7 +367,7 @@ impl Ram {
     pub fn flip_bit(&mut self, bit: u64) {
         assert!(bit < self.size_bits(), "bit {bit} outside RAM");
         let i = (bit / 8) as usize;
-        self.page_hashes[i / PAGE_BYTES] = None;
+        self.touch_page(i / PAGE_BYTES);
         let page = Arc::make_mut(&mut self.pages[i / PAGE_BYTES]);
         page[i % PAGE_BYTES] ^= 1 << (bit % 8);
     }
@@ -572,6 +640,45 @@ mod tests {
         let h = solo.content_hash();
         solo.write(0, MemWidth::Byte, 2).unwrap(); // make_mut in place
         assert_ne!(solo.content_hash(), h);
+    }
+
+    #[test]
+    fn incremental_hash_matches_from_scratch() {
+        // The rolling accumulator must agree with a cache-free rehash at
+        // every probe point, through writes, flips, forks, and in-place
+        // mutation of uniquely-owned pages.
+        let mut s = 0x0123_4567_89AB_CDEFu64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let size = 4 * PAGE_BYTES as u32 + 32;
+        let mut ram = Ram::with_image(size, &[0xA5; 600]);
+        let mut fork = ram.clone(); // cold-cache fork
+        for step in 0..500u32 {
+            match next() % 3 {
+                0 => {
+                    let addr = (next() % size as u64) as u32;
+                    let _ = ram.write(addr, MemWidth::Byte, next() as u32);
+                }
+                1 => ram.flip_bit(next() % ram.size_bits()),
+                _ => {
+                    assert_eq!(ram.content_hash(), ram.content_hash_from_scratch());
+                    if step % 7 == 0 {
+                        fork = ram.clone(); // warm-cache fork
+                    }
+                    fork.flip_bit(next() % fork.size_bits());
+                    assert_eq!(fork.content_hash(), fork.content_hash_from_scratch());
+                }
+            }
+        }
+        assert_eq!(ram.content_hash(), ram.content_hash_from_scratch());
+        // A second probe with nothing dirtied takes the O(1) path and
+        // must return the same value.
+        assert_eq!(ram.content_hash(), ram.content_hash_from_scratch());
+        assert!(ram.stale_pages.is_empty());
     }
 
     /// Equivalence sweep against the previous `Vec<u8>`-backed semantics:

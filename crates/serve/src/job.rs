@@ -19,6 +19,14 @@ pub struct JobSpec {
     /// Executor knobs (threads, convergence, memoization, timeouts),
     /// packed via [`CampaignConfig::pack`] on the wire.
     pub config: CampaignConfig,
+    /// Consult (and feed) the daemon's persistent cross-campaign warm
+    /// store for this job: memoized outcome facts recorded by earlier
+    /// jobs over the same program/domain/budget context are preloaded
+    /// into the campaign's memo before execution, and fresh facts are
+    /// persisted when the job completes. On by default; `submit --cold`
+    /// clears it for ablation and benchmarking. Ignored when the spec's
+    /// `config.memoization` is off or the daemon runs without a store.
+    pub warm_store: bool,
 }
 
 impl JobSpec {
@@ -30,6 +38,7 @@ impl JobSpec {
         for word in self.config.pack() {
             w.u64(word);
         }
+        w.bool(self.warm_store);
     }
 
     /// Deserializes a spec.
@@ -41,7 +50,7 @@ impl JobSpec {
         let name = r.str()?;
         let source = r.str()?;
         let domain = wire::take_domain(r)?;
-        let mut words = [0u64; 8];
+        let mut words = [0u64; 9];
         for word in &mut words {
             *word = r.u64()?;
         }
@@ -50,6 +59,7 @@ impl JobSpec {
             source,
             domain,
             config: CampaignConfig::unpack(words),
+            warm_store: r.bool()?,
         })
     }
 }
@@ -194,6 +204,7 @@ mod tests {
                 telemetry: true,
                 ..CampaignConfig::default()
             },
+            warm_store: false,
         };
         let mut w = Writer::new();
         spec.encode(&mut w);

@@ -279,6 +279,7 @@ mod tests {
             source: "nop\n".into(),
             domain: FaultDomain::Memory,
             config: CampaignConfig::sequential(),
+            warm_store: true,
         }
     }
 

@@ -16,6 +16,10 @@
 //! - [`scheduler`] — the bounded in-memory job queue and fixed worker
 //!   pool dispatching fault-list batches through
 //!   [`sofi_campaign::Campaign::run_experiments_stats`].
+//! - [`store`] — the persistent cross-campaign warm store
+//!   ([`store::WarmStore`]): an append-only, checksummed file of
+//!   memoized outcome facts keyed by program/domain/budget context,
+//!   preloaded into later campaigns over the same context.
 //! - [`server`] / [`client`] — the TCP/Unix-socket daemon
 //!   ([`server::Server`]) and the CLI-facing client ([`client::Client`]).
 //!
@@ -33,6 +37,7 @@ pub mod journal;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
+pub mod store;
 pub mod wire;
 
 pub use client::{Client, ClientError};
@@ -41,3 +46,4 @@ pub use journal::{Journal, Record, RecoveredJob};
 pub use protocol::{Message, ProtocolError};
 pub use scheduler::{CancelOutcome, Scheduler, ServeConfig, SubmitOutcome};
 pub use server::{Server, ShutdownHandle};
+pub use store::{context_key, WarmStore};

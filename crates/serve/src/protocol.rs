@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "SOFI"
-//! 4       2     protocol version (currently 3), little-endian
+//! 4       2     protocol version (currently 4), little-endian
 //! 6       2     message kind, little-endian
 //! 8       4     payload length in bytes, little-endian
 //! 12      4     FNV-1a-32 checksum, little-endian
@@ -39,8 +39,11 @@ pub const MAGIC: [u8; 4] = *b"SOFI";
 /// pair, live [`ExecutorStats`] in [`Message::Progress`] and
 /// [`JobStatus`], and a seventh packed [`sofi_campaign::CampaignConfig`]
 /// word (the `telemetry` flag). v3 appended the eighth packed config
-/// word (the machine's `block_engine` flag).
-pub const VERSION: u16 = 3;
+/// word (the machine's `block_engine` flag). v4 appended the ninth
+/// packed config word (`memo_gate`), the `warm_store` flag in
+/// [`JobSpec`], and three trailing [`ExecutorStats`] words
+/// (`gate_shards_on`, `gate_shards_off`, `store_hits`).
+pub const VERSION: u16 = 4;
 /// Frame header size in bytes.
 pub const HEADER_LEN: usize = 16;
 /// Upper bound on payload size (64 MiB) — rejected before allocation.
@@ -479,6 +482,7 @@ mod tests {
                     source: ".text\nnop\n".into(),
                     domain: FaultDomain::Memory,
                     config: CampaignConfig::default(),
+                    warm_store: true,
                 },
                 wait: true,
             },

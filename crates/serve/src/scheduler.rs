@@ -18,12 +18,13 @@
 
 use crate::job::{JobSpec, JobState, JobStatus};
 use crate::journal::{self, Journal, Record};
+use crate::store::{self, WarmStore};
 use sofi_campaign::{resume, Campaign, CampaignResult, ExecutorStats, ExperimentResult};
 use sofi_isa::assemble_text;
 use sofi_telemetry::{names, Registry, Snapshot};
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -46,6 +47,10 @@ pub struct ServeConfig {
     /// written, the journal is left exactly as a real kill would leave
     /// it. `None` (the default) in production.
     pub crash_after_commits: Option<u64>,
+    /// Path of the persistent cross-campaign warm store
+    /// ([`crate::store::WarmStore`]); `None` (the default) disables the
+    /// store entirely — jobs neither preload nor persist memo facts.
+    pub warm_store: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +61,7 @@ impl Default for ServeConfig {
             batch_size: 32,
             idle_timeout: Duration::from_secs(30),
             crash_after_commits: None,
+            warm_store: None,
         }
     }
 }
@@ -171,6 +177,10 @@ struct Inner {
     /// Daemon-wide telemetry: job lifecycle counters, queue-depth gauge,
     /// journal fsync latencies. Per-job registries live in [`JobEntry`].
     telemetry: Registry,
+    /// The persistent cross-campaign warm store, when configured. Its
+    /// own lock (not the scheduler state's): store appends fsync, and
+    /// stalling status queries behind a disk flush would be rude.
+    store: Option<Mutex<WarmStore>>,
 }
 
 impl Inner {
@@ -222,6 +232,10 @@ impl Scheduler {
         }
         let telemetry = Registry::enabled();
         telemetry.gauge(names::QUEUE_DEPTH).set(queue.len() as u64);
+        let store = match &config.warm_store {
+            Some(path) => Some(Mutex::new(WarmStore::open(path)?)),
+            None => None,
+        };
         let inner = Arc::new(Inner {
             config: config.clone(),
             state: Mutex::new(SchedState {
@@ -236,6 +250,7 @@ impl Scheduler {
             work_cv: Condvar::new(),
             watch_cv: Condvar::new(),
             telemetry,
+            store,
         });
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -455,6 +470,9 @@ fn merge_stats(total: &mut ExecutorStats, batch: &ExecutorStats) {
     total.memo_hits += batch.memo_hits;
     total.memo_misses += batch.memo_misses;
     total.memoized_cycles_saved += batch.memoized_cycles_saved;
+    total.gate_shards_on += batch.gate_shards_on;
+    total.gate_shards_off += batch.gate_shards_off;
+    total.store_hits += batch.store_hits;
 }
 
 fn worker_loop(inner: &Inner) {
@@ -517,6 +535,26 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, recovered: &HashSet<u32>, job
         Ok(c) => c,
         Err(e) => return fail_job(inner, id, format!("golden run failed: {e}")),
     };
+    // Warm-store preload: facts persisted by earlier jobs over the same
+    // context answer this job's memo probes without simulation.
+    let warm = spec.warm_store && spec.config.memoization && inner.store.is_some();
+    let ctx = store::context_key(&spec.source, spec.domain, &spec.config);
+    if warm {
+        // This job both consumes and feeds the store: lock probing on
+        // (even where the per-campaign cost gate would cut it) so fresh
+        // facts are harvested for future submissions over this context.
+        campaign.set_memo_harvest();
+        if let Some(store) = &inner.store {
+            let facts = store.lock().unwrap().lookup(ctx);
+            if !facts.is_empty() {
+                campaign.preload_memo(&facts);
+                inner
+                    .telemetry
+                    .counter(names::STORE_PRELOADS)
+                    .add(facts.len() as u64);
+            }
+        }
+    }
     let plan = campaign.plan_for(spec.domain);
     let tail = resume::unfinished(&plan.experiments, recovered);
     inner
@@ -626,6 +664,24 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, recovered: &HashSet<u32>, job
     inner.telemetry.counter(names::JOBS_FINISHED).incr();
     drop(st);
     inner.watch_cv.notify_all();
+
+    // Persist the fault-equivalence facts this job's runs established,
+    // so later jobs over the same context start warm. Best-effort and
+    // after the result is already visible: a store write failure can
+    // only cost future speed, never this job's outcome.
+    if warm {
+        if let Some(store) = &inner.store {
+            let fresh = campaign.export_memo();
+            if !fresh.is_empty() {
+                let span = inner.telemetry.span(names::STORE_APPEND_NS);
+                let appended = store.lock().unwrap().append(ctx, &fresh);
+                span.finish();
+                if let Ok(n) = appended {
+                    inner.telemetry.counter(names::STORE_APPENDS).add(n);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -662,6 +718,7 @@ mod tests {
             source: HI.into(),
             domain: FaultDomain::Memory,
             config: CampaignConfig::sequential(),
+            warm_store: true,
         }
     }
 

@@ -1,0 +1,395 @@
+//! The persistent cross-campaign warm store.
+//!
+//! A daemon-side, append-only file of fault-equivalence outcome facts
+//! ([`sofi_campaign::MemoRecord`]): `(cycle, state digest) → (outcome,
+//! final cycle)` entries exported by completed jobs and preloaded into
+//! later campaigns over the same *context* — program source, fault
+//! domain, and the outcome-relevant configuration (timeout factor,
+//! timeout slack, serial limit). State digests are purely
+//! content-determined, so a fact recorded by one daemon process is valid
+//! in any later one.
+//!
+//! The file format follows the result journal's laws exactly
+//! ([`crate::journal`]): each record is framed as
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length, little-endian
+//! 4       4     FNV-1a-32 checksum of the payload, little-endian
+//! 8       len   payload (tag byte + record body, `wire` codec)
+//! ```
+//!
+//! appended with `fsync` (one batch record per completed job), and
+//! [`WarmStore::open`] replays the valid prefix and truncates any torn
+//! tail a crash left behind — so a daemon killed mid-append loses at
+//! most the in-flight batch, never a committed one, and every surviving
+//! record is bit-identical to what was written
+//! (`tests/warm_store.rs`).
+
+use crate::wire::{self, Reader, WireError, Writer};
+use sofi_campaign::{CampaignConfig, FaultDomain, MemoRecord};
+use sofi_machine::StateDigest;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// A 128-bit campaign-context key: everything that must match for a
+/// memoized outcome fact to transfer between jobs. Two independent
+/// FNV-1a-64 lanes over the same context bytes — not cryptographic, but
+/// 128 bits of separation keeps facts from one program from ever being
+/// consulted for another.
+pub type ContextKey = u128;
+
+/// FNV-1a-64 with a caller-chosen offset basis (the second lane uses a
+/// different basis so the lanes are independent functions).
+fn fnv1a64_from(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    state
+}
+
+/// Computes the context key under which a job's memo facts are stored
+/// and looked up: program source text, fault domain, and the three
+/// config fields that determine experiment outcomes (the cycle budget's
+/// `timeout_factor` and `timeout_slack`, and the machine's
+/// `serial_limit`). Scheduling knobs — threads, convergence,
+/// memoization, the gate, telemetry, the block engine — are provably
+/// outcome-neutral and deliberately excluded, so ablation runs share
+/// one warm context.
+pub fn context_key(source: &str, domain: FaultDomain, config: &CampaignConfig) -> ContextKey {
+    let mut ctx = Vec::with_capacity(source.len() + 32);
+    ctx.extend_from_slice(source.as_bytes());
+    ctx.push(match domain {
+        FaultDomain::Memory => 0,
+        FaultDomain::RegisterFile => 1,
+    });
+    ctx.extend_from_slice(&config.timeout_factor.to_le_bytes());
+    ctx.extend_from_slice(&config.timeout_slack.to_le_bytes());
+    ctx.extend_from_slice(&(config.machine.serial_limit as u64).to_le_bytes());
+    let lo = fnv1a64_from(0xCBF2_9CE4_8422_2325, &ctx);
+    let hi = fnv1a64_from(0x6C62_272E_07BB_0142, &ctx);
+    (u128::from(hi) << 64) | u128::from(lo)
+}
+
+/// One store record: a batch of memo facts for one context, exported by
+/// one completed job.
+fn encode_batch(ctx: ContextKey, records: &[MemoRecord]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(0); // record tag, for future format evolution
+    w.u64((ctx >> 64) as u64);
+    w.u64(ctx as u64);
+    w.u32(records.len() as u32);
+    for r in records {
+        w.u64(r.cycle);
+        let bits = r.digest.to_bits();
+        w.u64((bits >> 64) as u64);
+        w.u64(bits as u64);
+        wire::put_outcome(&mut w, r.outcome);
+        w.u64(r.final_cycle);
+    }
+    w.finish()
+}
+
+/// Minimum encoded size of one memo fact (outcome tag is ≥ 1 byte).
+const MEMO_RECORD_MIN_BYTES: usize = 8 + 16 + 1 + 8;
+
+fn decode_batch(payload: &[u8]) -> Result<(ContextKey, Vec<MemoRecord>), WireError> {
+    let mut r = Reader::new(payload);
+    match r.u8()? {
+        0 => {}
+        t => return Err(r.err(format!("bad warm-store record tag {t}"))),
+    }
+    let hi = r.u64()?;
+    let lo = r.u64()?;
+    let ctx = (u128::from(hi) << 64) | u128::from(lo);
+    let n = r.seq_len(MEMO_RECORD_MIN_BYTES)?;
+    let mut records = Vec::with_capacity(n);
+    for _ in 0..n {
+        let cycle = r.u64()?;
+        let d_hi = r.u64()?;
+        let d_lo = r.u64()?;
+        let digest = StateDigest::from_bits((u128::from(d_hi) << 64) | u128::from(d_lo));
+        let outcome = wire::take_outcome(&mut r)?;
+        let final_cycle = r.u64()?;
+        records.push(MemoRecord {
+            cycle,
+            digest,
+            outcome,
+            final_cycle,
+        });
+    }
+    r.expect_end()?;
+    Ok((ctx, records))
+}
+
+/// An open warm store positioned at the end of its valid prefix, with
+/// the full fact index in memory.
+#[derive(Debug)]
+pub struct WarmStore {
+    file: File,
+    path: PathBuf,
+    /// `context → (cycle, digest bits) → fact`. The inner map both
+    /// deduplicates appends (a fact persisted once is never rewritten)
+    /// and serves lookups.
+    index: HashMap<ContextKey, HashMap<(u64, u128), MemoRecord>>,
+}
+
+impl WarmStore {
+    /// Opens (or creates) the store at `path`, replays every committed
+    /// batch into the in-memory index, and truncates any torn tail.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures; corrupt record *content* is not
+    /// an error — it marks the end of the committed history, exactly as
+    /// in [`crate::journal::Journal::open`].
+    pub fn open(path: &Path) -> io::Result<WarmStore> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (batches, valid_len) = replay(&bytes);
+        if valid_len as u64 != bytes.len() as u64 {
+            file.set_len(valid_len as u64)?;
+        }
+        file.seek(SeekFrom::Start(valid_len as u64))?;
+        let mut index: HashMap<ContextKey, HashMap<(u64, u128), MemoRecord>> = HashMap::new();
+        for (ctx, records) in batches {
+            let facts = index.entry(ctx).or_default();
+            for r in records {
+                facts.entry((r.cycle, r.digest.to_bits())).or_insert(r);
+            }
+        }
+        Ok(WarmStore {
+            file,
+            path: path.to_path_buf(),
+            index,
+        })
+    }
+
+    /// Every persisted fact for `ctx`, sorted by `(cycle, digest)` —
+    /// ready for [`sofi_campaign::Campaign::preload_memo`]. Empty for an
+    /// unknown context.
+    pub fn lookup(&self, ctx: ContextKey) -> Vec<MemoRecord> {
+        let Some(facts) = self.index.get(&ctx) else {
+            return Vec::new();
+        };
+        let mut out: Vec<MemoRecord> = facts.values().copied().collect();
+        out.sort_by_key(|r| (r.cycle, r.digest.to_bits()));
+        out
+    }
+
+    /// Appends the not-yet-persisted subset of `records` for `ctx` as
+    /// one checksummed, `fsync`ed batch, and indexes it. Returns how
+    /// many facts were actually appended (0 — with no write at all —
+    /// when every record was already persisted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; on error the batch must be considered
+    /// uncommitted (the index is only updated after a successful sync).
+    pub fn append(&mut self, ctx: ContextKey, records: &[MemoRecord]) -> io::Result<u64> {
+        let known = self.index.entry(ctx).or_default();
+        let fresh: Vec<MemoRecord> = records
+            .iter()
+            .filter(|r| !known.contains_key(&(r.cycle, r.digest.to_bits())))
+            .copied()
+            .collect();
+        if fresh.is_empty() {
+            return Ok(0);
+        }
+        let payload = encode_batch(ctx, &fresh);
+        let mut framed = Vec::with_capacity(8 + payload.len());
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&wire::fnv1a32(&payload).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        self.file.write_all(&framed)?;
+        self.file.sync_data()?;
+        let known = self.index.entry(ctx).or_default();
+        for r in &fresh {
+            known.insert((r.cycle, r.digest.to_bits()), *r);
+        }
+        Ok(fresh.len() as u64)
+    }
+
+    /// Total facts indexed across all contexts.
+    pub fn len(&self) -> usize {
+        self.index.values().map(HashMap::len).sum()
+    }
+
+    /// `true` when the store holds no facts.
+    pub fn is_empty(&self) -> bool {
+        self.index.values().all(HashMap::is_empty)
+    }
+
+    /// Distinct contexts with at least one fact.
+    pub fn contexts(&self) -> usize {
+        self.index.values().filter(|f| !f.is_empty()).count()
+    }
+
+    /// The store's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Decodes the valid batch prefix of `bytes`, returning the batches and
+/// the byte length of the prefix. Stops — without error — at the first
+/// truncated frame, checksum mismatch, or undecodable payload.
+fn replay(bytes: &[u8]) -> (Vec<(ContextKey, Vec<MemoRecord>)>, usize) {
+    let mut batches = Vec::new();
+    let mut pos = 0;
+    while let Some(header) = bytes.get(pos..pos + 8) {
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
+            break;
+        };
+        if wire::fnv1a32(payload) != crc {
+            break;
+        }
+        let Ok(batch) = decode_batch(payload) else {
+            break;
+        };
+        batches.push(batch);
+        pos += 8 + len;
+    }
+    (batches, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofi_campaign::Outcome;
+    use sofi_machine::StateDigest;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sofi-store-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}-{name}.store", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn fact(cycle: u64, digest: u128, outcome: Outcome) -> MemoRecord {
+        MemoRecord {
+            cycle,
+            digest: StateDigest::from_bits(digest),
+            outcome,
+            final_cycle: cycle + 100,
+        }
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let path = temp_path("roundtrip");
+        let ctx_a = 0x1111_u128;
+        let ctx_b = 0x2222_u128;
+        let a = vec![
+            fact(5, 0xAAAA, Outcome::NoEffect),
+            fact(9, 0xBBBB, Outcome::SilentDataCorruption),
+        ];
+        let b = vec![fact(3, 0xCCCC, Outcome::Timeout)];
+        {
+            let mut store = WarmStore::open(&path).unwrap();
+            assert!(store.is_empty());
+            assert_eq!(store.append(ctx_a, &a).unwrap(), 2);
+            assert_eq!(store.append(ctx_b, &b).unwrap(), 1);
+            // Re-appending already-persisted facts writes nothing.
+            assert_eq!(store.append(ctx_a, &a).unwrap(), 0);
+        }
+        let store = WarmStore::open(&path).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.contexts(), 2);
+        assert_eq!(store.lookup(ctx_a), a);
+        assert_eq!(store.lookup(ctx_b), b);
+        assert!(store.lookup(0x3333).is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let path = temp_path("torn");
+        let ctx = 0x42_u128;
+        {
+            let mut store = WarmStore::open(&path).unwrap();
+            store
+                .append(ctx, &[fact(1, 0x11, Outcome::NoEffect)])
+                .unwrap();
+            store
+                .append(ctx, &[fact(2, 0x22, Outcome::DetectedCorrected)])
+                .unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        // Simulate a daemon killed mid-append: half a record on the end.
+        let mut torn = full.clone();
+        torn.extend_from_slice(&[0x99, 0x03, 0x00, 0x00, 0x17, 0xFE]);
+        std::fs::write(&path, &torn).unwrap();
+
+        let mut store = WarmStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2, "torn tail must not hide committed facts");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), full.len() as u64);
+        store
+            .append(ctx, &[fact(3, 0x33, Outcome::Timeout)])
+            .unwrap();
+        drop(store);
+        let store = WarmStore::open(&path).unwrap();
+        assert_eq!(store.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checksum_corruption_ends_the_valid_prefix() {
+        let path = temp_path("crc");
+        let ctx = 0x7_u128;
+        {
+            let mut store = WarmStore::open(&path).unwrap();
+            store
+                .append(ctx, &[fact(1, 0x11, Outcome::NoEffect)])
+                .unwrap();
+            store
+                .append(ctx, &[fact(2, 0x22, Outcome::NoEffect)])
+                .unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let second_start = {
+            let len0 = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+            8 + len0
+        };
+        bytes[second_start + 12] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let store = WarmStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1, "corruption must cut the history there");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn context_key_separates_programs_domains_and_budgets() {
+        let cfg = CampaignConfig::default();
+        let base = context_key("nop\n", FaultDomain::Memory, &cfg);
+        assert_ne!(base, context_key("add r1, r2\n", FaultDomain::Memory, &cfg));
+        assert_ne!(base, context_key("nop\n", FaultDomain::RegisterFile, &cfg));
+        let slow = CampaignConfig {
+            timeout_factor: cfg.timeout_factor + 1,
+            ..cfg
+        };
+        assert_ne!(base, context_key("nop\n", FaultDomain::Memory, &slow));
+        // Outcome-neutral scheduling knobs share the context.
+        let reknobbed = CampaignConfig {
+            threads: 7,
+            convergence: false,
+            memoization: false,
+            memo_gate: false,
+            telemetry: true,
+            ..cfg
+        };
+        assert_eq!(base, context_key("nop\n", FaultDomain::Memory, &reknobbed));
+    }
+}

@@ -410,6 +410,9 @@ pub fn put_stats(w: &mut Writer, s: &ExecutorStats) {
     w.u64(s.memo_hits);
     w.u64(s.memo_misses);
     w.u64(s.memoized_cycles_saved);
+    w.u64(s.gate_shards_on);
+    w.u64(s.gate_shards_off);
+    w.u64(s.store_hits);
 }
 
 /// Decodes [`ExecutorStats`].
@@ -424,6 +427,9 @@ pub fn take_stats(r: &mut Reader<'_>) -> Result<ExecutorStats, WireError> {
         memo_hits: r.u64()?,
         memo_misses: r.u64()?,
         memoized_cycles_saved: r.u64()?,
+        gate_shards_on: r.u64()?,
+        gate_shards_off: r.u64()?,
+        store_hits: r.u64()?,
     })
 }
 

@@ -93,9 +93,11 @@ fn random_spec(rng: &mut DefaultRng) -> JobSpec {
             threads: rng.gen_range(0usize..9),
             convergence: rng.gen_bool(0.5),
             memoization: rng.gen_bool(0.5),
+            memo_gate: rng.gen_bool(0.5),
             telemetry: rng.gen_bool(0.5),
             ..CampaignConfig::default()
         },
+        warm_store: rng.gen_bool(0.5),
     }
 }
 
@@ -110,6 +112,9 @@ fn random_stats(rng: &mut DefaultRng) -> ExecutorStats {
         memo_hits: rng.next_u64() >> 8,
         memo_misses: rng.next_u64() >> 8,
         memoized_cycles_saved: rng.next_u64() >> 8,
+        gate_shards_on: rng.gen_range(0u64..8),
+        gate_shards_off: rng.gen_range(0u64..8),
+        store_hits: rng.next_u64() >> 8,
     }
 }
 

@@ -66,6 +66,7 @@ fn daemon_exposes_job_and_daemon_wide_telemetry() {
         source: PROG.into(),
         domain: FaultDomain::Memory,
         config: CampaignConfig::default(),
+        warm_store: true,
     };
     let (job, result, stats) = client.submit_wait(spec, |_, _, _| {}).unwrap();
     assert!(!result.results.is_empty());

@@ -50,6 +50,33 @@ pub const MEMO_HITS: &str = "executor.memo_hits";
 /// Counter: memo-cache misses.
 pub const MEMO_MISSES: &str = "executor.memo_misses";
 
+/// Counter: worker shards that finished with memo probing still enabled
+/// (the cost-model gate judged probing profitable, or the gate was off).
+pub const GATE_SHARDS_ON: &str = "executor.gate_shards_on";
+
+/// Counter: worker shards where the cost-model gate disabled memo
+/// probing — a priori (program too short to ever pay for a probe) or
+/// after sampling showed measured probe cost dominating observed
+/// savings.
+pub const GATE_SHARDS_OFF: &str = "executor.gate_shards_off";
+
+/// Counter: memo hits served from entries preloaded out of the daemon's
+/// persistent cross-campaign warm store (a subset of
+/// [`MEMO_HITS`]).
+pub const STORE_HITS: &str = "executor.store_hits";
+
+/// Counter: fresh memo entries appended to the daemon's persistent warm
+/// store after a job completed.
+pub const STORE_APPENDS: &str = "serve.store_appends";
+
+/// Counter: memo entries preloaded from the warm store into a job's
+/// campaign cache before execution.
+pub const STORE_PRELOADS: &str = "serve.store_preloads";
+
+/// Histogram: wall-clock latency of one warm-store batch append
+/// (checksummed record + fsync, like the job journal).
+pub const STORE_APPEND_NS: &str = "serve.store_append_ns";
+
 /// Counter: instructions retired through the pre-decoded µop engine
 /// during faulted runs.
 pub const BLOCK_CYCLES: &str = "executor.block_cycles";

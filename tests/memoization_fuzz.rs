@@ -9,7 +9,11 @@
 //! 2. the state digest the memo is keyed on behaves like the identity on
 //!    architectural state: `digest(a) == digest(b)` exactly when the
 //!    architecturally visible state (registers, PC, cycle, status,
-//!    serial, detection count, RAM content) is equal.
+//!    serial, detection count, RAM content) is equal;
+//! 3. the incrementally maintained digest (rolling RAM page
+//!    contributions + resumable serial hash) equals the from-scratch
+//!    re-hash of the same state after any interleaving of partial runs,
+//!    mid-run bit flips and copy-on-write forks.
 
 use sofi::campaign::{Campaign, CampaignConfig, FaultDomain};
 use sofi::isa::{Asm, Program, Reg};
@@ -238,4 +242,90 @@ fn fuzz_state_digest_equality_tracks_architectural_equality() {
     // masked) and both paused at the same cycle.
     assert!(unequal_pairs > 0, "fuzz never produced distinct states");
     assert!(equal_pairs > 0, "fuzz never produced equal states");
+}
+
+/// Probes a machine both ways and asserts the incremental digest (rolling
+/// page contributions + resumable serial accumulator) agrees with a full
+/// from-scratch re-hash of the same state.
+fn assert_incremental_matches_scratch(m: &mut Machine, what: &str) {
+    let scratch = m.state_digest_from_scratch();
+    assert_eq!(
+        m.state_digest(),
+        scratch,
+        "{what}: incremental digest diverged from from-scratch re-hash"
+    );
+    // Probing must not perturb the accumulator: a second probe of the
+    // unchanged state returns the same digest.
+    assert_eq!(
+        m.state_digest(),
+        scratch,
+        "{what}: digest unstable on re-probe"
+    );
+}
+
+#[test]
+fn fuzz_incremental_digest_matches_from_scratch_rehash() {
+    let mut rng = DefaultRng::seed_from_u64(0x1DC4_E57A);
+    for round in 0..6u32 {
+        let program = random_program(rng.next_u64());
+        let golden_cycles = {
+            let mut m = Machine::new(&program);
+            m.run(100_000);
+            m.cycle()
+        };
+        let bits = program.ram_size as u64 * 8;
+        // One lineage per round: a machine advanced in random increments,
+        // flipped mid-run, probed between every mutation, and forked at
+        // random points. Forks inherit the parent's cached page hashes
+        // (copy-on-write), so a fork that dirties pages while the parent
+        // stays clean — and vice versa — is exactly the aliasing the
+        // incremental scheme has to survive.
+        let mut m = Machine::new(&program);
+        let mut forks: Vec<Machine> = Vec::new();
+        for step in 0..24u32 {
+            match rng.gen_range(0u32..5) {
+                // Advance past a random boundary (possibly beyond the
+                // golden run, possibly a no-op when already past it).
+                0 | 1 => {
+                    m.run_to(rng.gen_range(0u64..2 * golden_cycles));
+                }
+                // Mid-run fault injection in either domain.
+                2 => {
+                    if rng.gen_bool(0.5) {
+                        m.flip_bit(rng.gen_range(0u64..bits));
+                    } else {
+                        m.flip_reg_bit(rng.gen_range(0u64..REG_FILE_BITS));
+                    }
+                }
+                // Fork the current machine — sometimes pre-hashed so the
+                // fork starts with a warm accumulator, sometimes cold.
+                3 => {
+                    if rng.gen_bool(0.5) {
+                        let _ = m.state_digest();
+                    }
+                    forks.push(m.clone());
+                }
+                // Mutate and probe a previously taken fork; the parent's
+                // digest must be unaffected (checked on the next probe).
+                _ => {
+                    if let Some(f) = forks.last_mut() {
+                        f.run_to(rng.gen_range(0u64..2 * golden_cycles));
+                        if rng.gen_bool(0.7) {
+                            f.flip_bit(rng.gen_range(0u64..bits));
+                        }
+                        assert_incremental_matches_scratch(
+                            f,
+                            &format!("round {round} step {step} (fork)"),
+                        );
+                    }
+                }
+            }
+            assert_incremental_matches_scratch(&mut m, &format!("round {round} step {step}"));
+        }
+        // Sweep the surviving forks once more: their cached hashes have
+        // aliased, diverged and re-converged in arbitrary order by now.
+        for (i, f) in forks.iter_mut().enumerate() {
+            assert_incremental_matches_scratch(f, &format!("round {round} final fork {i}"));
+        }
+    }
 }

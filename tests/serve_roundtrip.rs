@@ -38,6 +38,7 @@ fn spec(domain: FaultDomain) -> JobSpec {
         source: PROG.into(),
         domain,
         config: CampaignConfig::default(),
+        warm_store: true,
     }
 }
 
